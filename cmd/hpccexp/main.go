@@ -1,0 +1,112 @@
+// Command hpccexp reproduces the HPCC paper's figures one by one,
+// printing the same rows/series each figure plots. DESIGN.md maps every
+// figure to its implementation; EXPERIMENTS.md records paper-vs-
+// measured outcomes.
+//
+// Usage:
+//
+//	hpccexp [flags] fig1|fig2|fig3|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|theory|all
+//
+// The default scale is CI-friendly; -scale bench roughly quadruples the
+// flow counts, -scale paper uses the full 320-host FatTree (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "experiment scale: default, bench, paper")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpccexp [flags] <figure>...\n")
+		fmt.Fprintf(os.Stderr, "figures: fig1 fig2 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 ablations theory all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc, fat := scales(*scaleName, *seed)
+	for _, name := range flag.Args() {
+		if name == "all" {
+			for _, f := range []string{"fig1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablations", "theory"} {
+				runFigure(f, sc, fat, *seed)
+			}
+			continue
+		}
+		runFigure(name, sc, fat, *seed)
+	}
+}
+
+func scales(name string, seed int64) (experiment.Scale, topology.FatTreeSpec) {
+	switch name {
+	case "bench":
+		return experiment.Scale{MaxFlows: 3000, Until: 40 * sim.Millisecond, Drain: 60 * sim.Millisecond, Seed: seed},
+			topology.ScaledFatTree()
+	case "paper":
+		return experiment.Scale{MaxFlows: 20000, Until: 100 * sim.Millisecond, Drain: 200 * sim.Millisecond, Seed: seed},
+			topology.PaperFatTree()
+	default:
+		return experiment.Scale{Seed: seed}, topology.ScaledFatTree()
+	}
+}
+
+func runFigure(name string, sc experiment.Scale, fat topology.FatTreeSpec, seed int64) {
+	w := os.Stdout
+	switch name {
+	case "fig1":
+		experiment.Fig01(0, seed).Table().Fprint(w)
+	case "fig2":
+		for _, t := range experiment.Fig02(sc).Tables() {
+			t.Fprint(w)
+		}
+	case "fig3":
+		for _, t := range experiment.Fig03(sc).Tables() {
+			t.Fprint(w)
+		}
+	case "fig6":
+		experiment.Fig06(0, seed).Table().Fprint(w)
+	case "fig9":
+		experiment.Fig09LongShort(nil, 0, seed).Table().Fprint(w)
+		experiment.Fig09Incast(nil, 0, seed).Table().Fprint(w)
+		experiment.Fig09Mice(nil, 0, seed).Table().Fprint(w)
+		experiment.Fig09Fairness(nil, 0, seed).Table().Fprint(w)
+	case "fig10":
+		for _, t := range experiment.Fig10(sc).Tables() {
+			t.Fprint(w)
+		}
+	case "fig11":
+		for _, t := range experiment.Fig11(fat, sc).Tables() {
+			t.Fprint(w)
+		}
+	case "fig12":
+		for _, t := range experiment.Fig12(fat, sc).Tables() {
+			t.Fprint(w)
+		}
+	case "fig13":
+		for _, t := range experiment.Fig13(0, seed).Tables() {
+			t.Fprint(w)
+		}
+	case "fig14":
+		experiment.Fig14(nil, 0, seed).Table().Fprint(w)
+	case "ablations":
+		experiment.EtaMaxStageTable(experiment.AblationEtaMaxStage(0, seed)).Fprint(w)
+		experiment.QuantizeTable(experiment.AblationINTQuantization(sc)).Fprint(w)
+	case "theory":
+		experiment.TheoryLemmaTable(200, seed).Fprint(w)
+	default:
+		fmt.Fprintf(os.Stderr, "hpccexp: unknown figure %q\n", name)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,69 @@
+// Command hpccsim runs a single cluster-load scenario — scheme ×
+// topology × workload × load — and prints the FCT-slowdown, queue and
+// PFC summary.
+//
+// Examples:
+//
+//	hpccsim -scheme hpcc -topo pod -workload websearch -load 0.5
+//	hpccsim -scheme dcqcn -topo fattree -workload fbhadoop -incast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hpcc"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "hpcc", "congestion control: hpcc, dcqcn, dcqcn+win, timely, timely+win, dctcp, hpcc-rxrate, hpcc-perack, hpcc-perrtt")
+		topo     = flag.String("topo", "pod", "topology: pod, fattree")
+		paper    = flag.Bool("paper-scale", false, "full 320-host FatTree (slow)")
+		work     = flag.String("workload", "websearch", "flow sizes: websearch, fbhadoop")
+		load     = flag.Float64("load", 0.3, "average link load")
+		flows    = flag.Int("flows", 1000, "max generated flows")
+		duration = flag.Duration("duration", 20*time.Millisecond, "arrival window (virtual time)")
+		drain    = flag.Duration("drain", 30*time.Millisecond, "extra drain time")
+		incast   = flag.Bool("incast", false, "add periodic fan-in events (2% of capacity)")
+		lossy    = flag.Bool("lossy", false, "disable PFC (go-back-N recovery)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	lossless := !*lossy
+	res, err := hpcc.Run(hpcc.SimConfig{
+		Scheme:     *scheme,
+		Topology:   *topo,
+		PaperScale: *paper,
+		Workload:   *work,
+		Load:       *load,
+		Flows:      *flows,
+		Duration:   *duration,
+		Drain:      *drain,
+		Incast:     *incast,
+		Lossless:   &lossless,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme        %s\n", res.Scheme)
+	fmt.Printf("flows         %d completed, %d censored\n", res.Flows, res.Censored)
+	fmt.Printf("slowdown      p50 %.2f   p95 %.2f   p99 %.2f\n", res.SlowdownP50, res.SlowdownP95, res.SlowdownP99)
+	fmt.Printf("short (<=7K)  p99 %.2f\n", res.ShortFlowP99Slowdown)
+	fmt.Printf("queue         p50 %.1f KB   p99 %.1f KB   max %.1f KB\n", res.QueueP50KB, res.QueueP99KB, res.QueueMaxKB)
+	fmt.Printf("pfc pause     %.3f%% of port-time\n", res.PFCPauseFraction*100)
+	fmt.Printf("drops         %d\n", res.Drops)
+	fmt.Println("\np95 slowdown by flow size:")
+	for _, b := range res.BucketP95 {
+		if b.N == 0 {
+			continue
+		}
+		fmt.Printf("  <=%-10d %8.2f   (%d flows)\n", b.SizeHi, b.P95, b.N)
+	}
+}

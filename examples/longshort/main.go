@@ -1,0 +1,55 @@
+// Longshort: the rate-recovery micro-benchmark of Figures 9a/9b — a
+// long flow shares a 25 Gbps link with a transient 1 MB short flow;
+// HPCC hands back bandwidth within a round trip of the short flow
+// ending, while DCQCN crawls back via timer-driven increase.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpcc"
+)
+
+func main() {
+	const (
+		horizon  = 3 * time.Millisecond
+		shortAt  = 500 * time.Microsecond
+		bin      = 100 * time.Microsecond
+		shortLen = 1 << 20
+	)
+	for _, scheme := range []string{"hpcc", "dcqcn"} {
+		net, err := hpcc.NewNetwork(hpcc.NetConfig{
+			Scheme:       scheme,
+			Hosts:        3,
+			LinkRateGbps: 25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Long flow host0 -> host2; short flow host1 -> host2 later.
+		long := net.StartFlow(0, 2, 1<<40)
+		bins := make([]int64, horizon/bin)
+		long.OnProgress(func(n int64) {
+			if i := int(net.Now() / bin); i < len(bins) {
+				bins[i] += n
+			}
+		})
+		short := net.StartFlowAt(shortAt, 1, 2, shortLen)
+		net.Run(horizon)
+
+		fmt.Printf("== %s == (short flow done: %v, FCT %v)\n", net.Scheme(), short.Done(), short.FCT())
+		fmt.Println("  time      long-flow goodput")
+		for i, b := range bins {
+			gbps := float64(b) * 8 / bin.Seconds() / 1e9
+			marker := ""
+			if t := time.Duration(i) * bin; t <= shortAt && shortAt < t+bin {
+				marker = "  <- short flow starts"
+			}
+			fmt.Printf("  %7v   %5.1f Gbps%s\n", time.Duration(i)*bin, gbps, marker)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,41 @@
+// Websearch: the paper's end-to-end testbed experiment (Figure 10) as
+// a library call — WebSearch traffic on the 32-server PoD at 30% and
+// 50% load, comparing HPCC against DCQCN on tail FCT slowdown and
+// switch queueing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpcc"
+)
+
+func main() {
+	for _, load := range []float64{0.3, 0.5} {
+		fmt.Printf("=== WebSearch at %.0f%% average load (testbed PoD) ===\n", load*100)
+		fmt.Println("scheme   flows  sd-p50  sd-p95  sd-p99  short-p99  q-p99(KB)  pause%")
+		for _, scheme := range []string{"hpcc", "dcqcn"} {
+			res, err := hpcc.Run(hpcc.SimConfig{
+				Scheme:   scheme,
+				Topology: "pod",
+				Workload: "websearch",
+				Load:     load,
+				Flows:    600,
+				Duration: 10 * time.Millisecond,
+				Drain:    25 * time.Millisecond,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %5d  %6.2f  %6.2f  %6.2f  %9.2f  %9.1f  %5.2f\n",
+				res.Scheme, res.Flows,
+				res.SlowdownP50, res.SlowdownP95, res.SlowdownP99,
+				res.ShortFlowP99Slowdown, res.QueueP99KB, res.PFCPauseFraction*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper's figure 10: HPCC cuts short-flow tail slowdown by up to 95%")
+	fmt.Println("and keeps p99 queues ~100x smaller, at a small long-flow cost.")
+}

@@ -1,0 +1,53 @@
+package hpcc
+
+// This file reproduces the §4.3 hardware optimization: FPGA division is
+// expensive, so the NIC replaces W^c / k with W^c × (1/n) looked up
+// from a table of reciprocals whose entries are geometrically spaced so
+// that consecutive values differ by at least ε — bounding the relative
+// error at ε while keeping the table small (the prototype covers
+// 1 ≤ n ≤ 2²² in about 10 KB).
+
+import "sort"
+
+// DivLUT is the reciprocal lookup table.
+type DivLUT struct {
+	eps float64
+	n   []float64 // ascending divisor knots
+	inv []float64 // 1/n at each knot
+}
+
+// NewDivLUT builds a table covering divisors [1, maxN] with relative
+// spacing eps (the prototype's table: NewDivLUT(1<<22, eps)).
+func NewDivLUT(maxN float64, eps float64) *DivLUT {
+	l := &DivLUT{eps: eps}
+	for n := 1.0; n < maxN; n *= 1 + eps {
+		l.n = append(l.n, n)
+		l.inv = append(l.inv, 1/n)
+	}
+	l.n = append(l.n, maxN)
+	l.inv = append(l.inv, 1/maxN)
+	return l
+}
+
+// Entries returns the table size.
+func (l *DivLUT) Entries() int { return len(l.n) }
+
+// Recip returns the tabulated approximation of 1/n for n ≥ 1,
+// saturating at the table edges.
+func (l *DivLUT) Recip(n float64) float64 {
+	if n <= l.n[0] {
+		return l.inv[0]
+	}
+	if n >= l.n[len(l.n)-1] {
+		return l.inv[len(l.inv)-1]
+	}
+	// Largest knot ≤ n (truncation, as the hardware table does).
+	i := sort.SearchFloat64s(l.n, n)
+	if i < len(l.n) && l.n[i] == n {
+		return l.inv[i]
+	}
+	return l.inv[i-1]
+}
+
+// Div approximates w / n as w × Recip(n).
+func (l *DivLUT) Div(w, n float64) float64 { return w * l.Recip(n) }

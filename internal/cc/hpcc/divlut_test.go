@@ -1,0 +1,93 @@
+package hpcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDivLUTErrorBound(t *testing.T) {
+	const eps = 0.01
+	l := NewDivLUT(1<<22, eps)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		n := 1 + rng.Float64()*(1<<22-1)
+		got := l.Recip(n)
+		want := 1 / n
+		rel := (want - got) / want
+		// Truncation to the lower knot means the approximation is a
+		// slight overestimate of 1/n, within the spacing.
+		if rel > 1e-12 || rel < -eps-1e-9 {
+			t.Fatalf("Recip(%v) = %v, want %v (rel err %v)", n, got, want, rel)
+		}
+	}
+}
+
+func TestDivLUTSizeMatchesPrototype(t *testing.T) {
+	// The paper stores {1/n | 1 ≤ n ≤ 2²²} in ~10 KB. With 8-byte
+	// entries that is ~1280 entries, i.e. ε ≈ 1.2%. Our ε = 1.2% table
+	// should land in the same ballpark.
+	l := NewDivLUT(1<<22, 0.012)
+	if l.Entries() < 800 || l.Entries() > 2000 {
+		t.Fatalf("entries = %d, want ≈ 1220 (10KB at 8B/entry)", l.Entries())
+	}
+}
+
+func TestDivLUTExactAtKnots(t *testing.T) {
+	l := NewDivLUT(1024, 0.5)
+	for i, n := range l.n {
+		if got := l.Recip(n); got != l.inv[i] {
+			t.Fatalf("Recip at knot %v = %v, want %v", n, got, l.inv[i])
+		}
+	}
+}
+
+func TestDivLUTSaturates(t *testing.T) {
+	l := NewDivLUT(100, 0.1)
+	if l.Recip(0.5) != 1 {
+		t.Error("below-range divisor should clamp to 1/1")
+	}
+	if l.Recip(1e9) != 1.0/100 {
+		t.Error("above-range divisor should clamp to 1/max")
+	}
+}
+
+// Property: window computation via the LUT stays within ε of the exact
+// division for arbitrary windows and divisors.
+func TestDivLUTWindowProperty(t *testing.T) {
+	const eps = 0.02
+	l := NewDivLUT(1<<20, eps)
+	f := func(wRaw, nRaw uint32) bool {
+		w := float64(wRaw%10_000_000) + 1
+		n := 1 + float64(nRaw%(1<<20))
+		exact := w / n
+		approx := l.Div(w, n)
+		rel := (approx - exact) / exact
+		return rel >= -1e-9 && rel <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFloatDivision(b *testing.B) {
+	w, n := 125000.0, 1.7
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = w / n
+		n += 1e-9
+	}
+	_ = sink
+}
+
+func BenchmarkDivLUT(b *testing.B) {
+	l := NewDivLUT(1<<22, 0.012)
+	w, n := 125000.0, 1.7
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = l.Div(w, n)
+		n += 1e-9
+	}
+	_ = sink
+}

@@ -1,0 +1,353 @@
+package hpcc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpcc/internal/cc"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+const (
+	lineRate = 100 * sim.Gbps
+	baseRTT  = 10 * sim.Microsecond
+	bdp      = 125_000.0 // 12.5 GB/s × 10 µs
+)
+
+func testEnv() cc.Env {
+	now := sim.Time(0)
+	return cc.Env{
+		Now:      func() sim.Time { return now },
+		Schedule: func(d sim.Time, fn func()) {},
+		LineRate: lineRate,
+		BaseRTT:  baseRTT,
+		MTU:      1000,
+	}
+}
+
+func newHPCC(cfg Config) *HPCC {
+	h := New(cfg)().(*HPCC)
+	h.Init(testEnv())
+	return h
+}
+
+// ackWith builds a single-hop AckEvent. The hop's TS/TxBytes are the
+// switch counters at stamping time; qlen is the egress queue depth.
+func ackWith(ackSeq, sndNxt int64, ts sim.Time, txBytes uint64, qlen int64) *cc.AckEvent {
+	return &cc.AckEvent{
+		AckSeq: ackSeq,
+		SndNxt: sndNxt,
+		Hops: []packet.Hop{{
+			B:       lineRate,
+			TS:      ts,
+			TxBytes: txBytes,
+			RxBytes: txBytes,
+			QLen:    qlen,
+		}},
+		PathID: 0x123,
+	}
+}
+
+func TestInitState(t *testing.T) {
+	h := newHPCC(Config{})
+	if got := h.WindowBytes(); math.Abs(got-bdp) > 1 {
+		t.Fatalf("W_init = %v, want %v (B_NIC × T)", got, bdp)
+	}
+	if got := h.RateBps(); got != float64(lineRate) {
+		t.Fatalf("initial rate = %v, want line rate", got)
+	}
+	// Default WAI per §3.3 rule of thumb with N = 100.
+	if got := h.cfg.WAI; math.Abs(got-bdp*0.05/100) > 0.01 {
+		t.Fatalf("default WAI = %v, want %v", got, bdp*0.05/100)
+	}
+}
+
+func TestFirstAckOnlyRecords(t *testing.T) {
+	h := newHPCC(Config{})
+	w0 := h.WindowBytes()
+	h.OnAck(ackWith(1000, 125_000, sim.Microsecond, 1064, 0))
+	if h.WindowBytes() != w0 {
+		t.Fatal("window changed on the first (record-only) ACK")
+	}
+}
+
+func TestFullyLoadedLinkMultiplicativeDecrease(t *testing.T) {
+	h := newHPCC(Config{})
+	// ACK 1 records the path. ACK 2 arrives one base RTT later having
+	// observed txRate = B and a queue of one BDP: u = 1 + 1 = 2, and
+	// with dt = T the EWMA adopts it fully.
+	h.OnAck(ackWith(1000, 125_000, 0, 0, 125_000))
+	h.OnAck(ackWith(2000, 126_000, baseRTT, 125_000, 125_000))
+	// W = Wc/(U/η) + WAI = 125000×0.475 + 62.5
+	want := bdp*0.95/2 + h.cfg.WAI
+	if got := h.WindowBytes(); math.Abs(got-want) > 1 {
+		t.Fatalf("W after MD = %v, want %v", got, want)
+	}
+	if got := h.Utilization(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("U = %v, want 2.0", got)
+	}
+	// Pacing rate follows W/T.
+	wantRate := h.WindowBytes() / baseRTT.Seconds() * 8
+	if got := h.RateBps(); math.Abs(got-wantRate) > 1 {
+		t.Fatalf("rate = %v, want %v", got, wantRate)
+	}
+}
+
+// The Figure-5 scenario: two ACKs within one RTT describing the same
+// queue must not compound the decrease (the reference window is frozen
+// between per-RTT syncs).
+func TestNoOverreactionWithinRTT(t *testing.T) {
+	h := newHPCC(Config{})
+	// First ACK records the path and anchors lastUpdateSeq at its
+	// SndNxt (1 MB), so everything below stays within "one RTT".
+	h.OnAck(ackWith(1000, 1_000_000, 0, 0, 125_000))
+	w0 := h.WindowBytes()
+
+	// Two congested ACKs (u = qlen/BDP + txRate/B = 1 + 1 = 2).
+	h.OnAck(ackWith(2000, 1_001_000, baseRTT, 125_000, 125_000))
+	w1 := h.WindowBytes()
+	h.OnAck(ackWith(3000, 1_002_000, 2*baseRTT, 250_000, 125_000))
+	w2 := h.WindowBytes()
+
+	if w1 >= w0 {
+		t.Fatalf("no decrease on congestion: %v -> %v", w0, w1)
+	}
+	if math.Abs(w1-w2) > 1e-6 {
+		t.Fatalf("window compounded within one RTT: W1=%v W2=%v", w1, w2)
+	}
+	// W = W_init/(U/η) + WAI with U = 2.
+	want := bdp*0.95/2 + h.cfg.WAI
+	if math.Abs(w1-want) > 1 {
+		t.Fatalf("W1 = %v, want %v", w1, want)
+	}
+}
+
+func TestPerAckVariantOverreacts(t *testing.T) {
+	h := newHPCC(Config{Reaction: PerAck})
+	h.OnAck(ackWith(1000, 1_000_000, 0, 0, 125_000))
+	h.OnAck(ackWith(2000, 1_001_000, baseRTT, 125_000, 125_000))
+	w1 := h.WindowBytes()
+	h.OnAck(ackWith(3000, 1_002_000, 2*baseRTT, 250_000, 125_000))
+	w2 := h.WindowBytes()
+	if w2 >= w1 {
+		t.Fatalf("per-ACK variant should compound decreases: W1=%v W2=%v", w1, w2)
+	}
+}
+
+func TestPerRTTVariantIgnoresMidRTTAcks(t *testing.T) {
+	h := newHPCC(Config{Reaction: PerRTT})
+	h.OnAck(ackWith(1000, 1_000_000, 0, 0, 125_000))
+	w1 := h.WindowBytes()
+	// Mid-RTT congested ACKs: completely ignored.
+	h.OnAck(ackWith(2000, 1_001_000, baseRTT, 125_000, 125_000))
+	h.OnAck(ackWith(3000, 1_002_000, 2*baseRTT, 250_000, 125_000))
+	if h.WindowBytes() != w1 {
+		t.Fatalf("per-RTT variant reacted mid-RTT: %v -> %v", w1, h.WindowBytes())
+	}
+	// The ACK that finally covers lastUpdateSeq reacts.
+	h.OnAck(ackWith(1_000_001, 1_500_000, 3*baseRTT, 375_000, 125_000))
+	if h.WindowBytes() >= w1 {
+		t.Fatal("per-RTT variant did not react at the RTT boundary")
+	}
+}
+
+func TestAdditiveIncreaseThenMI(t *testing.T) {
+	h := newHPCC(Config{})
+	// Underutilized link: u = 0.5 every RTT (txRate = B/2, no queue).
+	// First maxStage syncing ACKs do AI; the next one jumps
+	// multiplicatively. Each ACK's seq exceeds the previous SndNxt so
+	// every ACK is a per-RTT sync.
+	h.OnAck(ackWith(1000, 2000, 0, 0, 0)) // records; lastUpdateSeq = 2000
+	// Knock the window below W_init with one congested RTT (u = 2).
+	h.OnAck(ackWith(3000, 3500, baseRTT, 125_000, 125_000))
+	w := h.WindowBytes()
+	if w >= bdp {
+		t.Fatalf("setup: W = %v did not decrease", w)
+	}
+	wai := h.cfg.WAI
+	tx := uint64(125_000)
+	seq := int64(4000)
+	for i := 0; i < 5; i++ {
+		tx += 62_500
+		h.OnAck(ackWith(seq, seq+500, sim.Time(i+2)*baseRTT, tx, 0))
+		got := h.WindowBytes()
+		if math.Abs(got-(w+wai)) > 1e-6 {
+			t.Fatalf("AI stage %d: W = %v, want %v", i, got, w+wai)
+		}
+		w = got
+		seq += 1000
+	}
+	// Stage 6: incStage == maxStage ⇒ multiplicative increase by η/U ≈
+	// 1.9×, which here saturates at W_init — far more than one more AI
+	// step would give.
+	tx += 62_500
+	h.OnAck(ackWith(seq, seq+500, 7*baseRTT, tx, 0))
+	got := h.WindowBytes()
+	if got <= w+wai+1e-6 {
+		t.Fatalf("MI stage: W = %v, want a multiplicative jump above %v", got, w+wai)
+	}
+	if math.Abs(got-bdp) > 1 {
+		t.Fatalf("MI stage: W = %v, want clamp at W_init %v", got, bdp)
+	}
+}
+
+func TestWindowClampedToInit(t *testing.T) {
+	h := newHPCC(Config{})
+	h.OnAck(ackWith(1000, 2000, 0, 0, 0))
+	// Nearly idle link for many RTTs: window must never exceed W_init.
+	tx := uint64(0)
+	for i := 1; i < 50; i++ {
+		tx += 1000
+		h.OnAck(ackWith(int64(1000+i*1000), int64(2000+i*1000), sim.Time(i)*baseRTT, tx, 0))
+	}
+	if got := h.WindowBytes(); got > bdp+1 {
+		t.Fatalf("W = %v exceeded W_init %v", got, bdp)
+	}
+}
+
+func TestPathChangeResets(t *testing.T) {
+	h := newHPCC(Config{})
+	h.OnAck(ackWith(1000, 2000, 0, 0, 125_000))
+	h.OnAck(ackWith(2000, 3000, baseRTT, 125_000, 125_000))
+	if h.Utilization() == 0 {
+		t.Fatal("setup: U should be nonzero")
+	}
+	ev := ackWith(3000, 4000, 2*baseRTT, 250_000, 125_000)
+	ev.PathID = 0x456 // route changed
+	h.OnAck(ev)
+	if h.Utilization() != 0 {
+		t.Fatal("path change did not reset U")
+	}
+}
+
+func TestRxRateVariantUsesRxBytes(t *testing.T) {
+	h := newHPCC(Config{UseRxRate: true})
+	if h.Name() != "HPCC-rxRate" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	// txBytes stalls but rxBytes races: the rxRate variant must see
+	// overload even though tx deltas read zero.
+	ev1 := ackWith(1000, 2000, 0, 0, 0)
+	ev1.Hops[0].RxBytes = 0
+	h.OnAck(ev1)
+	ev2 := ackWith(2000, 3000, baseRTT, 0, 0)
+	ev2.Hops[0].RxBytes = 250_000 // 2× line rate arrival
+	h.OnAck(ev2)
+	if got := h.Utilization(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("rxRate U = %v, want 2.0", got)
+	}
+}
+
+func TestMinQlenFiltersTransient(t *testing.T) {
+	h := newHPCC(Config{})
+	// Algorithm 1 line 5: min of current and previous qlen filters a
+	// one-sample spike. Previous qlen 0, current huge ⇒ queue term 0,
+	// leaving only txRate/B = 0.5.
+	h.OnAck(ackWith(1000, 2000, 0, 0, 0))
+	h.OnAck(ackWith(2000, 3000, baseRTT, 62_500, 10_000_000))
+	if got := h.Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("U = %v, want 0.5 (spike filtered)", got)
+	}
+}
+
+func TestEWMAWeightScalesWithGap(t *testing.T) {
+	h := newHPCC(Config{})
+	h.OnAck(ackWith(1000, 2000, 0, 0, 0))
+	// A feedback gap of T/10 gets weight 0.1.
+	h.OnAck(ackWith(2000, 3000, baseRTT/10, 125_000, 0))
+	// u for this sample: txRate = 125000 B over 1 µs = 1.25e11 B/s = 10× line.
+	// U = 0.9×0 + 0.1×10 = 1.0
+	if got := h.Utilization(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("U = %v, want 1.0", got)
+	}
+}
+
+func TestNoINTNoReaction(t *testing.T) {
+	h := newHPCC(Config{})
+	w0 := h.WindowBytes()
+	h.OnAck(&cc.AckEvent{AckSeq: 1000, SndNxt: 2000})
+	if h.WindowBytes() != w0 {
+		t.Fatal("reacted to an ACK with no INT records")
+	}
+}
+
+// Property: for arbitrary feedback sequences, the window stays within
+// [minWnd, W_init] and never becomes NaN.
+func TestWindowBoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHPCC(Config{})
+		ts := sim.Time(0)
+		var tx uint64
+		var ackSeq, sndNxt int64
+		for i := 0; i < int(n); i++ {
+			ts += sim.Time(rng.Int63n(int64(2 * baseRTT)))
+			tx += uint64(rng.Int63n(300_000))
+			ackSeq += int64(rng.Int63n(10_000) + 1)
+			sndNxt = ackSeq + rng.Int63n(200_000)
+			h.OnAck(ackWith(ackSeq, sndNxt, ts, tx, rng.Int63n(2_000_000)))
+			w := h.WindowBytes()
+			if math.IsNaN(w) || w < h.minWnd-1 || w > h.winInit+1 {
+				return false
+			}
+			if math.IsNaN(h.RateBps()) || h.RateBps() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: U is always nonnegative and bounded by the largest
+// per-sample u ever observed (EWMA is a convex combination).
+func TestEWMABoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHPCC(Config{})
+		h.OnAck(ackWith(1, 2, 0, 0, 0))
+		ts := sim.Time(0)
+		var tx uint64
+		maxU := 0.0
+		for i := 0; i < int(n); i++ {
+			dt := sim.Time(rng.Int63n(int64(baseRTT)) + 1)
+			ts += dt
+			db := uint64(rng.Int63n(200_000))
+			tx += db
+			q := rng.Int63n(500_000)
+			// Upper bound on this sample's u: q/BDP + rate/B.
+			u := float64(q)/bdp + float64(db)/dt.Seconds()/lineRate.BytesPerSec()
+			if u > maxU {
+				maxU = u
+			}
+			h.OnAck(ackWith(int64(i+2)*1000, int64(i+3)*1000, ts, tx, q))
+			if h.Utilization() < 0 || h.Utilization() > maxU+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if got := newHPCC(Config{}).Name(); got != "HPCC" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := newHPCC(Config{Reaction: PerAck}).Name(); got != "HPCC-perACK" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := newHPCC(Config{Reaction: PerRTT}).Name(); got != "HPCC-perRTT" {
+		t.Errorf("Name = %q", got)
+	}
+	if Combined.String() != "combined" || PerAck.String() != "per-ACK" || PerRTT.String() != "per-RTT" {
+		t.Error("Reaction.String mismatch")
+	}
+}

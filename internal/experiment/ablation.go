@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	hpcccc "hpcc/internal/cc/hpcc"
+	"hpcc/internal/fabric"
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/theory"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+func randomTheorySystem(rng *rand.Rand) *theory.System {
+	return theory.RandomSystem(rng, 6, 8)
+}
+
+// EtaMaxStageRow is one cell of the η × maxStage sweep (the paper's
+// §5.1 footnote 5: "we tried maxStage from 0 to 5, and η from 95% to
+// 98%, all of which give similar results").
+type EtaMaxStageRow struct {
+	Eta       float64
+	MaxStage  int
+	Queue95KB float64
+	AvgGbps   float64
+}
+
+// AblationEtaMaxStage sweeps HPCC's two stability parameters over the
+// 16-to-1 incast fixture.
+func AblationEtaMaxStage(dur sim.Time, seed int64) []EtaMaxStageRow {
+	if dur == 0 {
+		dur = 2 * sim.Millisecond
+	}
+	const nSend = 16
+	var out []EtaMaxStageRow
+	for _, eta := range []float64{0.95, 0.98} {
+		for _, ms := range []int{1, 3, 5} {
+			scheme := HPCC(hpcccc.Config{Eta: eta, MaxStage: ms})
+			m := buildStarMicro(scheme, nSend+1, 100*sim.Gbps, seed, 100*sim.Microsecond)
+			for i := 0; i < nSend; i++ {
+				m.flowAt(0, i, nSend, longFlowSize, i, nil)
+			}
+			// Sample steady state only: the line-rate-start transient
+			// (identical for every setting) would otherwise dominate
+			// the tail percentiles.
+			var mon *stats.QueueMonitor
+			m.eng.After(dur/2, func() {
+				mon = stats.NewQueueMonitor(m.eng, []*fabric.Port{m.portTo(nSend)}, fabric.PrioData, sim.Microsecond, dur)
+			})
+			m.eng.RunUntil(dur)
+			mon.Stop()
+			var q []float64
+			for _, tp := range mon.Series {
+				q = append(q, tp.V/1024)
+			}
+			total := 0.0
+			for i := 0; i < nSend; i++ {
+				total += m.tput.Rate(i, dur/2, dur)
+			}
+			out = append(out, EtaMaxStageRow{
+				Eta: eta, MaxStage: ms,
+				Queue95KB: stats.Percentile(q, 95),
+				AvgGbps:   total,
+			})
+		}
+	}
+	return out
+}
+
+// EtaMaxStageTable renders the sweep.
+func EtaMaxStageTable(rows []EtaMaxStageRow) *Table {
+	t := &Table{
+		Title: "Ablation: η × maxStage stability sweep (16-to-1 incast, 100G)",
+		Cols:  []string{"eta", "maxStage", "q95(KB)", "steady-tput(Gbps)"},
+	}
+	for _, r := range rows {
+		t.AddRow(f2(r.Eta), fmt.Sprintf("%d", r.MaxStage), f1(r.Queue95KB), f1(r.AvgGbps))
+	}
+	t.AddNote("paper §5.1 footnote 5: all settings in this range behave similarly")
+	return t
+}
+
+// QuantizeRow compares full-precision INT against Figure-7 wire
+// quantization (txBytes in 128B units, qLen in 80B units, TS in ns).
+type QuantizeRow struct {
+	Label     string
+	FCTp95    float64
+	Queue99KB float64
+}
+
+// AblationINTQuantization runs HPCC on the PoD with and without ASIC
+// quantization of the telemetry.
+func AblationINTQuantization(sc Scale) []QuantizeRow {
+	sc.normalize(300)
+	var out []QuantizeRow
+	for _, quant := range []bool{false, true} {
+		r := RunLoad(LoadScenario{
+			Scheme:      ByNameMust("hpcc"),
+			Topo:        PodTopo(topology.PodSpec{}),
+			CDF:         workload.WebSearch(),
+			Load:        0.3,
+			MaxFlows:    sc.MaxFlows,
+			Until:       sc.Until,
+			Drain:       sc.Drain,
+			PFC:         true,
+			Seed:        sc.Seed,
+			INTQuantize: quant,
+		})
+		label := "full-precision"
+		if quant {
+			label = "figure-7-wire"
+		}
+		out = append(out, QuantizeRow{
+			Label:     label,
+			FCTp95:    stats.Percentile(r.FCT.Slowdowns(), 95),
+			Queue99KB: r.Queue.P99 / 1024,
+		})
+	}
+	return out
+}
+
+// QuantizeTable renders the quantization ablation.
+func QuantizeTable(rows []QuantizeRow) *Table {
+	t := &Table{
+		Title: "Ablation: INT precision — simulator floats vs Figure-7 wire quantization",
+		Cols:  []string{"INT precision", "FCT-p95-slowdown", "q-p99(KB)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Label, f2(r.FCTp95), f1(r.Queue99KB))
+	}
+	t.AddNote("the 80B/128B/ns quantization of §4.1 should not change behaviour materially")
+	return t
+}
+
+// TheoryLemmaTable exercises Appendix A.2 end-to-end: random systems,
+// steps to ε-Pareto-optimality.
+func TheoryLemmaTable(samples int, seed int64) *Table {
+	t := &Table{
+		Title: "Appendix A.2: synchronous recursion convergence on random networks",
+		Cols:  []string{"metric", "value"},
+	}
+	rng := sim.NewRNG(seed, "lemma")
+	feasibleAfter1 := 0
+	totalSteps := 0
+	pareto := 0
+	for i := 0; i < samples; i++ {
+		s := randomTheorySystem(rng)
+		r := make([]float64, len(s.A[0]))
+		for j := range r {
+			r[j] = rng.Float64()*200 + 1
+		}
+		if s.Feasible(s.Step(r)) {
+			feasibleAfter1++
+		}
+		traj := s.Converge(r, 400)
+		totalSteps += len(traj) - 1
+		if s.ParetoOptimal(traj[len(traj)-1], 1e-5) {
+			pareto++
+		}
+	}
+	t.AddRow("systems sampled", fmt.Sprintf("%d", samples))
+	t.AddRow("feasible after 1 step (Lemma i)", fmt.Sprintf("%d/%d", feasibleAfter1, samples))
+	t.AddRow("ε-Pareto-optimal at convergence (Lemma iii)", fmt.Sprintf("%d/%d", pareto, samples))
+	t.AddRow("mean steps to convergence", f1(float64(totalSteps)/float64(samples)))
+	return t
+}

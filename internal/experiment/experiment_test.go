@@ -1,0 +1,384 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// The tests below run scaled-down versions of every figure and assert
+// the paper's qualitative claims — who wins, in which direction — not
+// absolute numbers.
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"hpcc", "hpcc-rxrate", "hpcc-perack", "hpcc-perrtt",
+		"dcqcn", "dcqcn+win", "timely", "timely+win", "dctcp",
+	} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Factory == nil {
+			t.Fatalf("ByName(%q): nil factory", name)
+		}
+		if s.ECN && (s.Kmin == nil || s.Kmax == nil) {
+			t.Fatalf("ByName(%q): ECN without thresholds", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("accepted an unknown scheme")
+	}
+}
+
+func TestFig11SchemeOrder(t *testing.T) {
+	names := []string{}
+	for _, s := range Fig11Schemes() {
+		names = append(names, s.Name)
+	}
+	want := "DCQCN TIMELY DCQCN+win TIMELY+win DCTCP HPCC"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("scheme order = %q, want %q", got, want)
+	}
+}
+
+func TestFig06RxRateOscillates(t *testing.T) {
+	r := Fig06(300*sim.Microsecond, 1)
+	if len(r.Variants) != 2 {
+		t.Fatal("want 2 variants")
+	}
+	// Both start at line rate: identical initial overshoot.
+	if r.PeakKB[0] < 10 || r.PeakKB[1] < 10 {
+		t.Fatalf("peaks = %v, expected a line-rate-start transient", r.PeakKB)
+	}
+	// The paper's claim: rxRate oscillates (queue rebuilds after the
+	// first drain), txRate converges gracefully.
+	if r.RebuildKB[1] <= r.RebuildKB[0] {
+		t.Fatalf("rxRate rebuild %.1f KB should exceed txRate rebuild %.1f KB",
+			r.RebuildKB[1], r.RebuildKB[0])
+	}
+}
+
+func TestFig13ReactionStrategies(t *testing.T) {
+	r := Fig13(300*sim.Microsecond, 1)
+	idx := map[string]int{}
+	for i, v := range r.Variants {
+		idx[v.Scheme] = i
+	}
+	perAck, perRTT, combined := idx["HPCC-perACK"], idx["HPCC-perRTT"], idx["HPCC"]
+	// Per-ACK overreacts: throughput collapses.
+	if r.AvgGbps[perAck] >= 0.7*r.AvgGbps[combined] {
+		t.Fatalf("per-ACK avg %.1f should collapse vs HPCC %.1f", r.AvgGbps[perAck], r.AvgGbps[combined])
+	}
+	// Per-RTT drains the queue slowly.
+	if r.LateQueueKB[perRTT] <= r.LateQueueKB[combined] {
+		t.Fatalf("per-RTT late queue %.1f KB should exceed HPCC %.1f KB",
+			r.LateQueueKB[perRTT], r.LateQueueKB[combined])
+	}
+	// HPCC keeps high throughput.
+	if r.AvgGbps[combined] < 0.7*r.Cap {
+		t.Fatalf("HPCC avg %.1f Gbps too low vs cap %.1f", r.AvgGbps[combined], r.Cap)
+	}
+}
+
+func TestFig14WAITradeoff(t *testing.T) {
+	r := Fig14([]float64{25, 300}, 3*sim.Millisecond, 1)
+	if len(r.Rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	small, large := r.Rows[0], r.Rows[1]
+	// Larger W_AI → more standing queue (beyond the §3.3 bound).
+	if large.Queue95KB < small.Queue95KB {
+		t.Fatalf("W_AI=300 q95 %.1f KB should be ≥ W_AI=25 q95 %.1f KB",
+			large.Queue95KB, small.Queue95KB)
+	}
+	// Both should keep utilization high.
+	if small.TotalGbps < 0.6*r.Cap || large.TotalGbps < 0.6*r.Cap {
+		t.Fatalf("total throughput too low: %v / %v of cap %.1f", small.TotalGbps, large.TotalGbps, r.Cap)
+	}
+	// The paper's stability bound for 16 flows.
+	if r.StableLimit < 100 || r.StableLimit > 200 {
+		t.Fatalf("stability bound = %.0f, want ≈ 150 bytes", r.StableLimit)
+	}
+}
+
+func TestFig09LongShortRecovery(t *testing.T) {
+	r := Fig09LongShort(nil, 2*sim.Millisecond, 1)
+	idx := map[string]int{}
+	for i, v := range r.Variants {
+		idx[v.Scheme] = i
+	}
+	h, d := idx["HPCC"], idx["DCQCN"]
+	// HPCC: short flow completes and the long flow is back to 90% of
+	// line within a few hundred µs (paper: "right after").
+	if r.ShortEnd[h] == 0 {
+		t.Fatal("HPCC short flow never finished")
+	}
+	if r.RecoverAfter[h] < 0 || r.RecoverAfter[h] > 500*sim.Microsecond {
+		t.Fatalf("HPCC recovery = %v, want prompt", r.RecoverAfter[h])
+	}
+	// Paper: DCQCN cannot recover to line rate even after 2 ms. The
+	// long flow's tail rate must show the gap.
+	if r.TailGbps[h] < 0.85*r.Cap {
+		t.Fatalf("HPCC tail rate %.1f of %.1f Gbps: did not recover", r.TailGbps[h], r.Cap)
+	}
+	if r.TailGbps[d] >= 0.95*r.TailGbps[h] {
+		t.Fatalf("DCQCN tail %.1f Gbps should lag HPCC %.1f", r.TailGbps[d], r.TailGbps[h])
+	}
+}
+
+func TestFig09IncastDrain(t *testing.T) {
+	r := Fig09Incast(nil, 4*sim.Millisecond, 1)
+	idx := map[string]int{}
+	for i, v := range r.Variants {
+		idx[v.Scheme] = i
+	}
+	h, d := idx["HPCC"], idx["DCQCN"]
+	if r.PeakKB[h] <= 0 || r.PeakKB[d] <= 0 {
+		t.Fatal("no queue build-up recorded")
+	}
+	// Paper: HPCC drains quickly; DCQCN builds ~550 KB and lingers.
+	if r.PeakKB[h] >= r.PeakKB[d] {
+		t.Fatalf("HPCC peak %.1f KB should be below DCQCN peak %.1f KB", r.PeakKB[h], r.PeakKB[d])
+	}
+	if r.DrainTime[h] >= r.DrainTime[d] {
+		t.Fatalf("HPCC drain %v should beat DCQCN %v", r.DrainTime[h], r.DrainTime[d])
+	}
+}
+
+func TestFig09MiceLatency(t *testing.T) {
+	r := Fig09Mice(nil, 4*sim.Millisecond, 1)
+	idx := map[string]int{}
+	for i, s := range r.Schemes {
+		idx[s] = i
+	}
+	h, d := idx["HPCC"], idx["DCQCN"]
+	// Paper: HPCC keeps near-zero queues → mice latency near base RTT;
+	// DCQCN keeps a standing queue around the ECN threshold.
+	if r.LatencyUs[h].P95 >= r.LatencyUs[d].P95 {
+		t.Fatalf("HPCC mice p95 %.1fus should beat DCQCN %.1fus", r.LatencyUs[h].P95, r.LatencyUs[d].P95)
+	}
+	if r.QueueKB[h].P95 >= r.QueueKB[d].P95 {
+		t.Fatalf("HPCC queue p95 %.1f KB should beat DCQCN %.1f KB", r.QueueKB[h].P95, r.QueueKB[d].P95)
+	}
+	if r.LatencyUs[h].P50 > 4*r.BaseRTTUs {
+		t.Fatalf("HPCC median mice latency %.1fus too far above base RTT %.1fus", r.LatencyUs[h].P50, r.BaseRTTUs)
+	}
+}
+
+func TestFig09FairnessJain(t *testing.T) {
+	r := Fig09Fairness(nil, 2*sim.Millisecond, 1)
+	idx := map[string]int{}
+	for i, s := range r.Schemes {
+		idx[s] = i
+	}
+	h := idx["HPCC"]
+	// Epoch 3 has all four flows active: HPCC shares fairly even on
+	// short timescales (the W_AI default targets 100 flows, so full
+	// convergence takes longer than these scaled 2 ms epochs).
+	if r.Jain[h][3] < 0.75 {
+		t.Fatalf("HPCC Jain with 4 flows = %.2f, want ≥ 0.75", r.Jain[h][3])
+	}
+	// Epoch 6 has only flow 4 left: it should claim most of the line.
+	last := r.Rates[h][6][3]
+	if last < 15 {
+		t.Fatalf("last flow rate = %.1f Gbps, want near line (25G minus overheads)", last)
+	}
+}
+
+func TestFig10QueueAndTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	r := Fig10(Scale{MaxFlows: 200, Until: 5 * sim.Millisecond, Drain: 15 * sim.Millisecond})
+	for li := range r.Loads {
+		h := r.Results[li][0]
+		d := r.Results[li][1]
+		// Paper: HPCC keeps queues ultra-low even at the tail.
+		if h.Queue.P99 >= d.Queue.P99 && d.Queue.P99 > 0 {
+			t.Fatalf("load %v: HPCC q-p99 %.1f KB !< DCQCN %.1f KB",
+				r.Loads[li], h.Queue.P99/1024, d.Queue.P99/1024)
+		}
+		if h.Drops != 0 {
+			t.Fatalf("HPCC dropped %d packets with PFC on", h.Drops)
+		}
+	}
+	// Short-flow p99 slowdown: HPCC below DCQCN at 50% load (bucket 0
+	// = flows ≤ 6.7KB; paper reports 95% reduction).
+	h50 := r.Buckets[1][0][0].Stats.P99
+	d50 := r.Buckets[1][1][0].Stats.P99
+	if h50 >= d50 {
+		t.Fatalf("short-flow p99 slowdown: HPCC %.2f !< DCQCN %.2f", h50, d50)
+	}
+}
+
+func TestFig02TimerTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	r := Fig02(Scale{MaxFlows: 150, Until: 4 * sim.Millisecond, Drain: 12 * sim.Millisecond})
+	if len(r.Labels) != 3 {
+		t.Fatal("want 3 timer settings")
+	}
+	// The aggressive setting (last: Ti=55,Td=50) must pause at least as
+	// much as the conservative one (first: Ti=900,Td=4) under incast.
+	if r.Incast[2].PauseFrac < r.Incast[0].PauseFrac {
+		t.Fatalf("aggressive timers paused less (%.4f) than conservative (%.4f)",
+			r.Incast[2].PauseFrac, r.Incast[0].PauseFrac)
+	}
+}
+
+func TestFig03ThresholdTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	r := Fig03(Scale{MaxFlows: 150, Until: 4 * sim.Millisecond, Drain: 12 * sim.Millisecond})
+	// Low ECN thresholds keep queues smaller than high thresholds
+	// (bandwidth-vs-latency trade-off), at 50% load.
+	high := r.Results[1][0].Queue.P99 // Kmin=400K,Kmax=1600K
+	low := r.Results[1][2].Queue.P99  // Kmin=12K,Kmax=50K
+	if low >= high {
+		t.Fatalf("low-threshold q-p99 %.1f KB !< high-threshold %.1f KB", low/1024, high/1024)
+	}
+}
+
+func TestFig11SixSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	spec := topology.FatTreeSpec{Cores: 2, Aggs: 2, ToRs: 4, HostsPerToR: 4,
+		HostRate: 100 * sim.Gbps, FabricRate: 400 * sim.Gbps, LinkDelay: sim.Microsecond}
+	r := Fig11(spec, Scale{MaxFlows: 150, Until: 3 * sim.Millisecond, Drain: 12 * sim.Millisecond})
+	if len(r.Results) != 2 || len(r.Results[0]) != 6 {
+		t.Fatalf("want 2 panels × 6 schemes")
+	}
+	idx := map[string]int{}
+	for i, s := range r.Schemes {
+		idx[s] = i
+	}
+	// Paper: with HPCC, PFC pauses are never triggered even under
+	// incast (with the full 32 MB buffer). At this scaled-down buffer
+	// the unavoidable first-RTT line-rate burst (Appendix A.4) may
+	// graze the threshold, so assert near-zero and far below DCQCN.
+	hp := r.Results[0][idx["HPCC"]]
+	dc := r.Results[0][idx["DCQCN"]]
+	if hp.PauseFrac > 0.005 {
+		t.Fatalf("HPCC pause fraction %.4f, want ≈ 0", hp.PauseFrac)
+	}
+	if dc.PauseFrac > 0 && hp.PauseFrac > dc.PauseFrac/2 {
+		t.Fatalf("HPCC pause %.4f not well below DCQCN %.4f", hp.PauseFrac, dc.PauseFrac)
+	}
+	// HPCC keeps tail queues below the rate-only schemes.
+	if hp.Queue.P99 >= dc.Queue.P99 {
+		t.Fatalf("HPCC q-p99 %.1f !< DCQCN %.1f", hp.Queue.P99/1024, dc.Queue.P99/1024)
+	}
+}
+
+func TestFig12FlowControlChoices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	spec := topology.FatTreeSpec{Cores: 2, Aggs: 2, ToRs: 4, HostsPerToR: 4,
+		HostRate: 100 * sim.Gbps, FabricRate: 400 * sim.Gbps, LinkDelay: sim.Microsecond}
+	r := Fig12(spec, Scale{MaxFlows: 120, Until: 3 * sim.Millisecond, Drain: 12 * sim.Millisecond})
+	if len(r.Results) != 2 || len(r.Results[0]) != 3 {
+		t.Fatal("want 2 schemes × 3 modes")
+	}
+	// All runs must have delivered flows.
+	for si := range r.Results {
+		for mi := range r.Results[si] {
+			lr := r.Results[si][mi]
+			if len(lr.FCT.Records) == 0 {
+				t.Fatalf("%s/%s: no completed flows", r.Schemes[si], r.Modes[mi])
+			}
+		}
+	}
+	// HPCC avoids loss so well that lossy modes barely drop; DCQCN
+	// without PFC must drop far more.
+	hpccGBNDrops := r.Results[1][1].Drops
+	dcqcnGBNDrops := r.Results[0][1].Drops
+	if hpccGBNDrops >= dcqcnGBNDrops && dcqcnGBNDrops > 0 {
+		t.Fatalf("HPCC-GBN drops %d !< DCQCN-GBN drops %d", hpccGBNDrops, dcqcnGBNDrops)
+	}
+}
+
+func TestFig01PFCPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	r := Fig01(10*sim.Millisecond, 1)
+	if r.PFCFrames == 0 {
+		t.Fatal("no PFC activity under the storm scenario")
+	}
+	if r.SuppressedBandwidthFrac <= 0 {
+		t.Fatal("no host bandwidth suppression recorded")
+	}
+	// Propagation: pauses must reach past the receiver ToR (host
+	// uplinks paused = senders silenced).
+	if r.PauseTimeByTier["host->tor"] <= 0 {
+		t.Fatal("pauses never propagated to host uplinks")
+	}
+}
+
+func TestAblationEtaMaxStage(t *testing.T) {
+	rows := AblationEtaMaxStage(sim.Millisecond, 1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Paper footnote 5: the whole region behaves well — near-zero
+		// steady queues and high utilization.
+		if r.Queue95KB > 100 {
+			t.Fatalf("eta=%v maxStage=%d: q95 = %.1f KB, want small", r.Eta, r.MaxStage, r.Queue95KB)
+		}
+		if r.AvgGbps < 50 {
+			t.Fatalf("eta=%v maxStage=%d: throughput %.1f Gbps too low", r.Eta, r.MaxStage, r.AvgGbps)
+		}
+	}
+}
+
+func TestAblationINTQuantization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario: skipped in -short")
+	}
+	rows := AblationINTQuantization(Scale{MaxFlows: 120, Until: 3 * sim.Millisecond, Drain: 10 * sim.Millisecond})
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	// Quantization must not change behaviour materially (same order of
+	// magnitude of tail slowdown).
+	if rows[1].FCTp95 > 3*rows[0].FCTp95+1 {
+		t.Fatalf("wire quantization changed p95 slowdown: %.2f vs %.2f", rows[1].FCTp95, rows[0].FCTp95)
+	}
+}
+
+func TestTheoryLemmaTable(t *testing.T) {
+	tab := TheoryLemmaTable(50, 1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1][1] != "50/50" {
+		t.Fatalf("Lemma (i) row = %q, want 50/50", tab.Rows[1][1])
+	}
+	if tab.Rows[2][1] != "50/50" {
+		t.Fatalf("Lemma (iii) row = %q, want 50/50", tab.Rows[2][1])
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var sb strings.Builder
+	tab := &Table{Title: "t", Cols: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n %d", 7)
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t ==", "a", "bb", "1", "2", "note: n 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	_ = workload.WebSearch
+}

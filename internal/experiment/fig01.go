@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"hpcc/internal/cc/dcqcn"
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// Fig01Result substitutes for the paper's Figure 1, which plots
+// *production* measurements of PFC pause propagation. We reproduce the
+// phenomenon inside the simulated PoD: sustained incast under DCQCN
+// triggers pauses that propagate from the receiver's ToR up through
+// the Agg and back down to innocent hosts, suppressing send capacity
+// (see DESIGN.md, substitution table).
+type Fig01Result struct {
+	// PauseTimeByTier is the fraction of paused (port × time) by
+	// transmitter class, tracing propagation depth:
+	//   agg->tor:  depth 1 (receiver's ToR paused its Agg uplink feed)
+	//   tor->agg:  depth 2 (the Agg paused ToR uplinks)
+	//   host->tor: depth 3 (ToRs paused host NICs — senders silenced)
+	PauseTimeByTier map[string]float64
+	// SuppressedBandwidthFrac is host-uplink pause time × NIC rate over
+	// total host capacity × duration — Figure 1b's "suppressed
+	// bandwidth".
+	SuppressedBandwidthFrac float64
+	PFCFrames               uint64
+	Drops                   uint64
+}
+
+// Fig01 drives the PoD with background load plus a sustained heavy
+// incast under aggressively-tuned DCQCN.
+func Fig01(dur sim.Time, seed int64) *Fig01Result {
+	if dur == 0 {
+		dur = 20 * sim.Millisecond
+	}
+	scheme := DCQCN(dcqcn.Config{RateIncTimer: 55 * sim.Microsecond, MinDecGap: 50 * sim.Microsecond})
+	eng := sim.NewEngine()
+	topo := PodTopo(topology.PodSpec{})
+	rate := topo.Rate()
+	scfg := fabric.SwitchConfig{
+		// A small buffer makes pauses propagate visibly at CI scale.
+		BufferBytes: 2 << 20,
+		PFCEnabled:  true,
+		ECNEnabled:  true,
+		KMin:        scheme.Kmin(rate),
+		KMax:        scheme.Kmax(rate),
+		Seed:        seed,
+	}
+	hcfg := host.Config{CC: scheme.Factory, BaseRTT: topo.BaseRTT(), Seed: seed}
+	nw := topo.Build(eng, hcfg, scfg)
+
+	workload.StartPoisson(nw, workload.PoissonSpec{
+		CDF: workload.WebSearch(), Load: 0.3, HostRate: rate,
+		Until: dur, MaxFlows: 100_000, Seed: seed,
+	})
+	workload.StartIncast(nw, workload.IncastSpec{
+		FanIn: 16, Size: 500_000, LoadFrac: 0.10, HostRate: rate,
+		Until: dur, Seed: seed + 1,
+	})
+	eng.RunUntil(dur + 10*sim.Millisecond)
+
+	res := &Fig01Result{PauseTimeByTier: map[string]float64{}}
+	elapsed := float64(eng.Now())
+	classTime := map[string]float64{}
+	classPorts := map[string]float64{}
+	var hostPause sim.Time
+	hostPorts := 0
+	// Switch 0 is the Agg, 1..4 the ToRs (builder order in Pod).
+	agg := nw.Switches[0]
+	for _, sw := range nw.Switches {
+		for _, p := range sw.Ports() {
+			class := "tor->host"
+			if sw == agg {
+				class = "agg->tor"
+			} else if p.Peer() == agg {
+				class = "tor->agg"
+			}
+			classTime[class] += float64(p.PausedFor(fabric.PrioData))
+			classPorts[class]++
+		}
+		res.PFCFrames += sw.PFCFramesSent()
+	}
+	for _, h := range nw.Hosts {
+		for _, p := range h.Ports() {
+			hostPause += p.PausedFor(fabric.PrioData)
+			hostPorts++
+		}
+	}
+	classTime["host->tor"] = float64(hostPause)
+	classPorts["host->tor"] = float64(hostPorts)
+	for class, t := range classTime {
+		res.PauseTimeByTier[class] = t / (elapsed * classPorts[class])
+	}
+	res.SuppressedBandwidthFrac = float64(hostPause) / (elapsed * float64(hostPorts))
+	res.Drops = nw.TotalDrops()
+	return res
+}
+
+// Table renders the substitution study.
+func (r *Fig01Result) Table() *Table {
+	t := &Table{
+		Title: "Figure 1 (substitution): PFC pause propagation under incast storms (DCQCN, PoD)",
+		Cols:  []string{"pause class", "paused-time-frac(%)"},
+	}
+	// tor->host is omitted: hosts never emit pauses (they are the
+	// receivers), so that class is structurally zero.
+	for _, class := range []string{"agg->tor", "tor->agg", "host->tor"} {
+		t.AddRow(class, f2(r.PauseTimeByTier[class]*100))
+	}
+	t.AddNote("host->tor pauses silence senders: suppressed bandwidth %.2f%% of capacity (paper Fig 1b: up to 25%%)", r.SuppressedBandwidthFrac*100)
+	t.AddNote("%d PFC frames; %d drops; paper Fig 1a: ~10%% of pauses propagate 3 hops", r.PFCFrames, r.Drops)
+	return t
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcc/internal/cc/dcqcn"
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// Fig02Timers are the three (Ti, Td) settings of Figure 2: the DCQCN
+// paper's original, a vendor default, and the authors' conservative
+// tuning.
+func Fig02Timers() []dcqcn.Config {
+	return []dcqcn.Config{
+		{RateIncTimer: 900 * sim.Microsecond, MinDecGap: 4 * sim.Microsecond},
+		{RateIncTimer: 300 * sim.Microsecond, MinDecGap: 4 * sim.Microsecond},
+		{RateIncTimer: 55 * sim.Microsecond, MinDecGap: 50 * sim.Microsecond},
+	}
+}
+
+func timerLabel(c dcqcn.Config) string {
+	return fmt.Sprintf("Ti=%d,Td=%d", int64(c.RateIncTimer/sim.Microsecond), int64(c.MinDecGap/sim.Microsecond))
+}
+
+// Fig02Result is the throughput-vs-stability motivation experiment
+// (§2.3, Figure 2): DCQCN under WebSearch with three timer settings —
+// (a) FCT slowdowns under plain load, (b) PFC pauses and tail latency
+// once incast is added.
+type Fig02Result struct {
+	Labels  []string
+	Buckets [][]stats.BucketRow // panel (a)
+	Plain   []*LoadResult
+	Incast  []*LoadResult // panel (b)
+}
+
+// Fig02 runs both panels at 30% WebSearch load on the testbed PoD.
+func Fig02(sc Scale) *Fig02Result {
+	sc.normalize(600)
+	res := &Fig02Result{}
+	for _, cfg := range Fig02Timers() {
+		res.Labels = append(res.Labels, timerLabel(cfg))
+		scheme := DCQCN(cfg)
+		base := LoadScenario{
+			Scheme:   scheme,
+			Topo:     PodTopo(topology.PodSpec{}),
+			CDF:      workload.WebSearch(),
+			Load:     0.3,
+			MaxFlows: sc.MaxFlows,
+			Until:    sc.Until,
+			Drain:    sc.Drain,
+			PFC:      true,
+			Seed:     sc.Seed,
+		}
+		plain := RunLoad(base)
+		res.Plain = append(res.Plain, plain)
+		res.Buckets = append(res.Buckets, plain.FCT.Buckets(stats.WebSearchEdges()))
+
+		withIncast := base
+		withIncast.Incast = &Incast{FanIn: 16, Size: 500_000, LoadFrac: 0.02}
+		withIncast.BufferBytes = BufferFor(32)
+		res.Incast = append(res.Incast, RunLoad(withIncast))
+	}
+	return res
+}
+
+// Tables renders Figure 2's two panels.
+func (r *Fig02Result) Tables() []*Table {
+	a := &Table{
+		Title: "Figure 2a: 95th-pct FCT slowdown vs DCQCN timers (WebSearch 30%, PoD)",
+		Cols:  append([]string{"size"}, r.Labels...),
+	}
+	nb := len(r.Buckets[0])
+	for b := 0; b < nb; b++ {
+		row := []string{sizeLabel(r.Buckets[0][b].Hi)}
+		for vi := range r.Labels {
+			row = append(row, f2(r.Buckets[vi][b].Stats.P95))
+		}
+		a.AddRow(row...)
+	}
+	b := &Table{
+		Title: "Figure 2b: PFC pauses and latency with incast (WebSearch 30% + 16-to-1)",
+		Cols:  []string{"timers", "pause-frac(%)", "p95-lat-short(us)", "q-p99(KB)"},
+	}
+	for vi, lab := range r.Labels {
+		lr := r.Incast[vi]
+		b.AddRow(lab, f2(lr.PauseFrac*100), f1(lr.ShortFlowP95Latency(30_000)), f1(lr.Queue.P99/1024))
+	}
+	b.AddNote("aggressive timers (small Ti, large Td) recover bandwidth faster (2a) but pause more under incast (2b)")
+	return []*Table{a, b}
+}
+
+// Fig03Thresholds are the ECN (Kmin, Kmax) pairs of Figure 3, at the
+// 25 Gbps reference rate.
+func Fig03Thresholds() [][2]int64 {
+	return [][2]int64{
+		{400 << 10, 1600 << 10},
+		{100 << 10, 400 << 10},
+		{12 << 10, 50 << 10},
+	}
+}
+
+// Fig03Result is the bandwidth-vs-latency motivation experiment (§2.3,
+// Figure 3): DCQCN FCT slowdowns under three ECN threshold settings at
+// 30% and 50% load.
+type Fig03Result struct {
+	Loads   []float64
+	Labels  []string
+	Buckets [][][]stats.BucketRow // [load][threshold][bucket]
+	Results [][]*LoadResult
+}
+
+// Fig03 runs both loads across the three threshold settings.
+func Fig03(sc Scale) *Fig03Result {
+	sc.normalize(600)
+	res := &Fig03Result{Loads: []float64{0.3, 0.5}}
+	for _, th := range Fig03Thresholds() {
+		res.Labels = append(res.Labels, fmt.Sprintf("Kmin=%dK,Kmax=%dK", th[0]>>10, th[1]>>10))
+	}
+	for _, load := range res.Loads {
+		var rows [][]stats.BucketRow
+		var lrs []*LoadResult
+		for _, th := range Fig03Thresholds() {
+			scheme := DCQCNWithECN(dcqcn.Config{}, th[0], th[1])
+			r := RunLoad(LoadScenario{
+				Scheme:   scheme,
+				Topo:     PodTopo(topology.PodSpec{}),
+				CDF:      workload.WebSearch(),
+				Load:     load,
+				MaxFlows: sc.MaxFlows,
+				Until:    sc.Until,
+				Drain:    sc.Drain,
+				PFC:      true,
+				Seed:     sc.Seed,
+			})
+			rows = append(rows, r.FCT.Buckets(stats.WebSearchEdges()))
+			lrs = append(lrs, r)
+		}
+		res.Buckets = append(res.Buckets, rows)
+		res.Results = append(res.Results, lrs)
+	}
+	return res
+}
+
+// Tables renders Figure 3's two panels.
+func (r *Fig03Result) Tables() []*Table {
+	var out []*Table
+	for li, load := range r.Loads {
+		t := &Table{
+			Title: fmt.Sprintf("Figure 3%c: 95th-pct FCT slowdown vs ECN thresholds (WebSearch %.0f%%, PoD)", 'a'+li, load*100),
+			Cols:  append([]string{"size"}, r.Labels...),
+		}
+		nb := len(r.Buckets[li][0])
+		for b := 0; b < nb; b++ {
+			row := []string{sizeLabel(r.Buckets[li][0][b].Hi)}
+			for vi := range r.Labels {
+				row = append(row, f2(r.Buckets[li][vi][b].Stats.P95))
+			}
+			t.AddRow(row...)
+		}
+		for vi, lab := range r.Labels {
+			t.AddNote("%s: queue p99 %.1f KB", lab, r.Results[li][vi].Queue.P99/1024)
+		}
+		out = append(out, t)
+	}
+	return out
+}

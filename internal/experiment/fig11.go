@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// Fig11Result is the six-scheme large-scale comparison (Figure 11):
+// FB_Hadoop on the FatTree at 30% load + 60-to-1 incast and at 50%
+// load, reporting 95th-percentile FCT slowdowns, PFC pause fractions
+// and short-flow tail latency.
+type Fig11Result struct {
+	Panels  []string // "30% + incast", "50%"
+	Schemes []string
+	Buckets [][][]stats.BucketRow // [panel][scheme][bucket]
+	Results [][]*LoadResult
+	FanIn   int
+}
+
+// Fig11 runs both panels across all six schemes. The FatTree and
+// incast fan-in scale with spec; the paper's full setup is
+// topology.PaperFatTree() with fan-in 60.
+func Fig11(spec topology.FatTreeSpec, sc Scale) *Fig11Result {
+	sc.normalize(600)
+	if spec.Cores == 0 {
+		spec = topology.ScaledFatTree()
+	}
+	fanIn := 60
+	if n := spec.NumHosts(); fanIn >= n/2 {
+		fanIn = n / 4
+	}
+	res := &Fig11Result{
+		Panels: []string{"30% + incast", "50%"},
+		FanIn:  fanIn,
+	}
+	schemes := Fig11Schemes()
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name)
+	}
+	type panel struct {
+		load   float64
+		incast *Incast
+	}
+	panels := []panel{
+		{0.3, &Incast{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02}},
+		{0.5, nil},
+	}
+	for _, p := range panels {
+		var rows [][]stats.BucketRow
+		var lrs []*LoadResult
+		for _, scheme := range schemes {
+			r := RunLoad(LoadScenario{
+				Scheme:      scheme,
+				Topo:        FatTreeTopo(spec),
+				CDF:         workload.FBHadoop(),
+				Load:        p.load,
+				Incast:      p.incast,
+				MaxFlows:    sc.MaxFlows,
+				Until:       sc.Until,
+				Drain:       sc.Drain,
+				PFC:         true,
+				Seed:        sc.Seed,
+				BufferBytes: BufferFor(spec.NumHosts()),
+			})
+			rows = append(rows, r.FCT.Buckets(stats.FBHadoopEdges()))
+			lrs = append(lrs, r)
+		}
+		res.Buckets = append(res.Buckets, rows)
+		res.Results = append(res.Results, lrs)
+	}
+	return res
+}
+
+// Tables renders Figure 11's four panels.
+func (r *Fig11Result) Tables() []*Table {
+	var out []*Table
+	for pi, panel := range r.Panels {
+		fct := &Table{
+			Title: "Figure 11" + string(rune('a'+2*pi)) + ": 95th-pct FCT slowdown, FB_Hadoop " + panel + " (FatTree)",
+			Cols:  []string{"size"},
+		}
+		fct.Cols = append(fct.Cols, r.Schemes...)
+		nb := len(r.Buckets[pi][0])
+		for b := 0; b < nb; b++ {
+			row := []string{sizeLabel(r.Buckets[pi][0][b].Hi)}
+			for si := range r.Schemes {
+				row = append(row, f2(r.Buckets[pi][si][b].Stats.P95))
+			}
+			fct.AddRow(row...)
+		}
+		if pi == 0 {
+			fct.AddNote("incast: %d-to-1 × 500KB at 2%% of capacity", r.FanIn)
+		}
+		out = append(out, fct)
+
+		pfc := &Table{
+			Title: "Figure 11" + string(rune('b'+2*pi)) + ": PFC pause and tail latency, " + panel,
+			Cols:  []string{"scheme", "pause-frac(%)", "p95-lat-short(us)", "q-p99(KB)", "censored"},
+		}
+		for si, s := range r.Schemes {
+			lr := r.Results[pi][si]
+			pfc.AddRow(s,
+				f2(lr.PauseFrac*100),
+				f1(lr.ShortFlowP95Latency(7_000)),
+				f1(lr.Queue.P99/1024),
+				f1(float64(lr.Censored)))
+		}
+		out = append(out, pfc)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	hpcccc "hpcc/internal/cc/hpcc"
+	"hpcc/internal/fabric"
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+)
+
+// Fig13Result compares the reaction-combining strategies of §5.4
+// (Figure 13): per-ACK, per-RTT and HPCC's reference-window scheme
+// under a 16-to-1 incast on 100 Gbps links.
+type Fig13Result struct {
+	Variants []SeriesPair
+	// AvgGbps is each variant's total goodput averaged over the run;
+	// PeakQueueKB / LateQueueKB summarize the bottleneck queue (peak,
+	// and mean after 4 base RTTs when the incast should have drained).
+	AvgGbps, PeakQueueKB, LateQueueKB []float64
+	Cap                               float64 // achievable goodput ceiling, Gbps
+}
+
+// Fig13 runs the 16-to-1 incast for the three reaction strategies.
+func Fig13(dur sim.Time, seed int64) *Fig13Result {
+	if dur == 0 {
+		dur = 400 * sim.Microsecond
+	}
+	variants := []Scheme{
+		HPCC(hpcccc.Config{Reaction: hpcccc.PerAck}),
+		HPCC(hpcccc.Config{Reaction: hpcccc.PerRTT}),
+		HPCC(hpcccc.Config{}),
+	}
+	res := &Fig13Result{}
+	const nSend = 16
+	for _, scheme := range variants {
+		bin := 10 * sim.Microsecond
+		m := buildStarMicro(scheme, nSend+1, 100*sim.Gbps, seed, bin)
+		for i := 0; i < nSend; i++ {
+			m.flowAt(0, i, nSend, longFlowSize, i, nil)
+		}
+		mon := stats.NewQueueMonitor(m.eng, []*fabric.Port{m.portTo(nSend)}, fabric.PrioData, sim.Microsecond, dur)
+		m.eng.RunUntil(dur)
+		mon.Stop()
+
+		// Total goodput series: sum flows into one series.
+		total := make([]stats.TimePoint, 0)
+		nBins := int(dur / bin)
+		for b := 0; b < nBins; b++ {
+			total = append(total, stats.TimePoint{T: sim.Time(b) * bin})
+		}
+		for i := 0; i < nSend; i++ {
+			s := m.tput.Series(i, dur)
+			for b := range s {
+				total[b].V += s[b].V
+			}
+		}
+		var sum float64
+		for _, tp := range total {
+			sum += tp.V
+		}
+		peak, lateSum, lateN := 0.0, 0.0, 0
+		for _, tp := range mon.Series {
+			if tp.V > peak {
+				peak = tp.V
+			}
+			if tp.T > 4*m.baseRTT {
+				lateSum += tp.V
+				lateN++
+			}
+		}
+		res.Variants = append(res.Variants, SeriesPair{Scheme: scheme.Name, Throughput: total, Queue: mon.Series})
+		res.AvgGbps = append(res.AvgGbps, sum/float64(len(total)))
+		res.PeakQueueKB = append(res.PeakQueueKB, peak/1024)
+		late := 0.0
+		if lateN > 0 {
+			late = lateSum / float64(lateN) / 1024
+		}
+		res.LateQueueKB = append(res.LateQueueKB, late)
+		res.Cap = m.goodputCap()
+	}
+	return res
+}
+
+// Tables renders Figure 13's two panels.
+func (r *Fig13Result) Tables() []*Table {
+	tput := &Table{
+		Title: "Figure 13a: total throughput under 16-to-1 incast (100G)",
+		Cols:  []string{"time(us)"},
+	}
+	queue := &Table{
+		Title: "Figure 13b: bottleneck queue length under 16-to-1 incast",
+		Cols:  []string{"time(us)"},
+	}
+	for _, v := range r.Variants {
+		tput.Cols = append(tput.Cols, v.Scheme+"(Gbps)")
+		queue.Cols = append(queue.Cols, v.Scheme+"(KB)")
+	}
+	for i := range r.Variants[0].Throughput {
+		row := []string{f1(r.Variants[0].Throughput[i].T.Microseconds())}
+		for _, v := range r.Variants {
+			row = append(row, f1(v.Throughput[i].V))
+		}
+		tput.AddRow(row...)
+	}
+	for i := 0; i < len(r.Variants[0].Queue); i += 20 {
+		row := []string{f1(r.Variants[0].Queue[i].T.Microseconds())}
+		for _, v := range r.Variants {
+			row = append(row, f1(v.Queue[i].V/1024))
+		}
+		queue.AddRow(row...)
+	}
+	for i, v := range r.Variants {
+		tput.AddNote("%s: average %.1f Gbps of %.1f achievable", v.Scheme, r.AvgGbps[i], r.Cap)
+		queue.AddNote("%s: peak %.1f KB, post-drain mean %.1f KB", v.Scheme, r.PeakQueueKB[i], r.LateQueueKB[i])
+	}
+	return []*Table{tput, queue}
+}

@@ -1,0 +1,262 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// Topo selects and parameterizes a topology for a scenario.
+type Topo struct {
+	Kind string // "star", "pod", "fattree", "dumbbell"
+
+	// Star / dumbbell parameters.
+	N        int
+	HostRate sim.Rate
+	Delay    sim.Time
+
+	// Preset specs.
+	Pod topology.PodSpec
+	Fat topology.FatTreeSpec
+}
+
+// StarTopo is the §5.4 fixture: n hosts at 100 Gbps, 1 µs links.
+func StarTopo(n int) Topo {
+	return Topo{Kind: "star", N: n, HostRate: 100 * sim.Gbps, Delay: sim.Microsecond}
+}
+
+// PodTopo is the §5.2 testbed PoD.
+func PodTopo(spec topology.PodSpec) Topo { return Topo{Kind: "pod", Pod: spec} }
+
+// FatTreeTopo is the §5.3 simulation fabric.
+func FatTreeTopo(spec topology.FatTreeSpec) Topo { return Topo{Kind: "fattree", Fat: spec} }
+
+// Build constructs the network.
+func (t Topo) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *topology.Network {
+	switch t.Kind {
+	case "star":
+		return topology.Star(eng, t.N, t.HostRate, t.Delay, hcfg, scfg)
+	case "dumbbell":
+		return topology.Dumbbell(eng, t.N, t.HostRate, t.HostRate, t.Delay, hcfg, scfg)
+	case "pod":
+		return topology.Pod(eng, t.Pod, hcfg, scfg)
+	case "fattree":
+		return topology.FatTree(eng, t.Fat, hcfg, scfg)
+	default:
+		panic(fmt.Sprintf("experiment: unknown topology %q", t.Kind))
+	}
+}
+
+// Rate returns the host NIC speed (for load targets, ideal FCTs and
+// ECN scaling).
+func (t Topo) Rate() sim.Rate {
+	switch t.Kind {
+	case "pod":
+		sp := t.Pod
+		if sp.HostRate == 0 {
+			return 25 * sim.Gbps
+		}
+		return sp.HostRate
+	case "fattree":
+		sp := t.Fat
+		if sp.HostRate == 0 {
+			return 100 * sim.Gbps
+		}
+		return sp.HostRate
+	default:
+		return t.HostRate
+	}
+}
+
+// BaseRTT returns the network's base-RTT constant T, per §5.1: "slightly
+// greater than the maximum RTT" — 9 µs for the testbed PoD, 13 µs for
+// the FatTree, and 4×delay + margin for the micro fixtures.
+func (t Topo) BaseRTT() sim.Time {
+	switch t.Kind {
+	case "pod":
+		return 9 * sim.Microsecond
+	case "fattree":
+		return 13 * sim.Microsecond
+	default:
+		return 4*t.Delay + time500ns
+	}
+}
+
+const time500ns = 500 * sim.Nanosecond
+
+// Incast parameterizes the periodic fan-in events of §5.3.
+type Incast struct {
+	FanIn    int
+	Size     int64
+	LoadFrac float64
+}
+
+// LoadScenario is the common "background Poisson load (+ optional
+// incast) on a topology" experiment shared by Figures 2, 3, 10, 11, 12.
+type LoadScenario struct {
+	Scheme Scheme
+	Topo   Topo
+
+	CDF      *workload.CDF
+	Load     float64
+	Incast   *Incast
+	MaxFlows int      // cap on Poisson arrivals (bounds runtime)
+	Until    sim.Time // arrival window end
+	Drain    sim.Time // extra time for in-flight flows to finish
+
+	FlowCtl host.FlowControl
+	// PFC enables lossless mode; when false, switches drop with the
+	// footnote-6 dynamic egress threshold (α = 1) and hosts recover.
+	PFC bool
+
+	QueueSample sim.Time // queue sampling period (default 10 µs)
+	Seed        int64
+	BufferBytes int64 // switch buffer (default 32 MB)
+	// INTQuantize rounds every INT stamp through the Figure-7 wire
+	// precision (ASIC emulation ablation).
+	INTQuantize bool
+}
+
+func (s *LoadScenario) normalize() {
+	if s.Until == 0 {
+		s.Until = 5 * sim.Millisecond
+	}
+	if s.Drain == 0 {
+		s.Drain = 20 * sim.Millisecond
+	}
+	if s.QueueSample == 0 {
+		s.QueueSample = 10 * sim.Microsecond
+	}
+	if s.MaxFlows == 0 {
+		s.MaxFlows = 1000
+	}
+}
+
+// BufferFor scales the paper's 32 MB switch buffer with the fabric
+// size so PFC dynamics survive scaled-down (CI) runs: the paper's
+// 320-host FatTree keeps the full 32 MB; a 32-host run gets 3.2 MB,
+// floored at 2 MB.
+func BufferFor(hosts int) int64 {
+	b := int64(32) << 20 * int64(hosts) / 320
+	if b < 2<<20 {
+		b = 2 << 20
+	}
+	if b > 32<<20 {
+		b = 32 << 20
+	}
+	return b
+}
+
+// LoadResult carries everything the load-scenario figures report.
+type LoadResult struct {
+	Scheme  string
+	FCT     stats.FCTSet
+	Queue   stats.Summary // per-port queue-length samples, bytes
+	QueueKB []float64     // raw samples in KB (for CDFs)
+
+	PauseFrac float64 // fraction of (port × time) spent PFC-paused
+	Drops     uint64
+	Started   int // flows started
+	Censored  int // flows still unfinished at the horizon
+	Elapsed   sim.Time
+}
+
+// ShortFlowP95Latency returns the 95th-percentile FCT (µs) of flows no
+// larger than limit bytes — the "95pct-latency" bars of Figures 2b/11.
+func (r *LoadResult) ShortFlowP95Latency(limit int64) float64 {
+	var lat []float64
+	for _, rec := range r.FCT.Records {
+		if rec.Size <= limit {
+			lat = append(lat, rec.FCT.Microseconds())
+		}
+	}
+	return stats.Percentile(lat, 95)
+}
+
+// RunLoad executes the scenario to its horizon and collects results.
+func RunLoad(s LoadScenario) *LoadResult {
+	s.normalize()
+	eng := sim.NewEngine()
+
+	scfg := fabric.SwitchConfig{
+		BufferBytes: s.BufferBytes,
+		PFCEnabled:  s.PFC,
+		INTEnabled:  s.Scheme.INT,
+		INTQuantize: s.INTQuantize,
+		ECNEnabled:  s.Scheme.ECN,
+		Seed:        s.Seed,
+	}
+	if !s.PFC {
+		scfg.LossyEgressAlpha = 1 // paper footnote 6
+	}
+	rate := s.Topo.Rate()
+	if s.Scheme.ECN {
+		scfg.KMin = s.Scheme.Kmin(rate)
+		scfg.KMax = s.Scheme.Kmax(rate)
+	}
+	hcfg := host.Config{
+		CC:      s.Scheme.Factory,
+		FlowCtl: s.FlowCtl,
+		INT:     s.Scheme.INT,
+		BaseRTT: s.Topo.BaseRTT(),
+		Seed:    s.Seed,
+	}
+	nw := s.Topo.Build(eng, hcfg, scfg)
+
+	res := &LoadResult{Scheme: s.Scheme.Name}
+	onDone := func(f *host.Flow) {
+		res.FCT.Add(stats.FCTRecord{
+			Size:  f.Size(),
+			FCT:   f.FCT(),
+			Ideal: stats.IdealFCT(f.Size(), rate, s.Topo.BaseRTT(), packet.DefaultMTU, s.Scheme.INT),
+		})
+	}
+	workload.StartPoisson(nw, workload.PoissonSpec{
+		CDF:      s.CDF,
+		Load:     s.Load,
+		HostRate: rate,
+		Until:    s.Until,
+		MaxFlows: s.MaxFlows,
+		OnDone:   onDone,
+		Seed:     s.Seed,
+	})
+	if s.Incast != nil {
+		workload.StartIncast(nw, workload.IncastSpec{
+			FanIn:    s.Incast.FanIn,
+			Size:     s.Incast.Size,
+			LoadFrac: s.Incast.LoadFrac,
+			HostRate: rate,
+			Until:    s.Until,
+			OnDone:   onDone,
+			Seed:     s.Seed + 1,
+		})
+	}
+	mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
+
+	eng.RunUntil(s.Until + s.Drain)
+	mon.Stop()
+
+	res.Queue = stats.Summarize(mon.Samples)
+	res.QueueKB = make([]float64, len(mon.Samples))
+	for i, v := range mon.Samples {
+		res.QueueKB[i] = v / 1024
+	}
+	res.PauseFrac = stats.PFCPauseFraction(nw.Switches, fabric.PrioData, s.Until+s.Drain)
+	res.Drops = nw.TotalDrops()
+	res.Elapsed = eng.Now()
+	for _, h := range nw.Hosts {
+		for _, f := range h.Flows() {
+			res.Started++
+			if !f.Done() {
+				res.Censored++
+			}
+		}
+	}
+	return res
+}

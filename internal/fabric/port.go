@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+type entry struct {
+	p       *packet.Packet
+	ingress int // arriving port index at the owner, -1 if locally generated
+}
+
+// fifo is an amortized O(1) queue of entries.
+type fifo struct {
+	buf  []entry
+	head int
+}
+
+func (f *fifo) push(e entry) { f.buf = append(f.buf, e) }
+
+func (f *fifo) pop() entry {
+	e := f.buf[f.head]
+	f.buf[f.head] = entry{}
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 256 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = entry{}
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return e
+}
+
+func (f *fifo) empty() bool { return f.head == len(f.buf) }
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+// Port is one direction of a duplex link: the transmitter owned by a
+// node. It serializes packets from strict-priority queues onto the link,
+// honors per-priority PFC pause, and keeps the counters INT exposes
+// (cumulative tx bytes) plus pause-time statistics.
+type Port struct {
+	eng   *sim.Engine
+	owner Node
+	peer  Node
+	// peerPort is the reverse-direction port at the peer. An arriving
+	// packet is delivered as peer.HandleArrival(p, peerPort), so the
+	// receiver can identify its ingress and reach back upstream (PFC).
+	peerPort *Port
+
+	index int // position in owner's port list
+	rate  sim.Rate
+	delay sim.Time
+
+	queues [NumPrio]fifo
+	qBytes [NumPrio]int64
+	paused [NumPrio]bool
+	busy   bool
+
+	txBytes uint64          // cumulative bytes fully handed to the serializer
+	rxQ     [NumPrio]uint64 // cumulative bytes enqueued, per priority (INT rxRate ablation)
+
+	// Statistics.
+	pktsSent    uint64
+	pauseStart  [NumPrio]sim.Time
+	pausedFor   [NumPrio]sim.Time
+	pauseEvents uint64
+	maxQBytes   int64
+}
+
+func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Time) *Port {
+	return &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
+}
+
+// Index returns the port's position in its owner's port list.
+func (pt *Port) Index() int { return pt.index }
+
+// Rate returns the link bandwidth.
+func (pt *Port) Rate() sim.Rate { return pt.rate }
+
+// Delay returns the one-way propagation delay of the link.
+func (pt *Port) Delay() sim.Time { return pt.delay }
+
+// Peer returns the node at the far end of the link.
+func (pt *Port) Peer() Node { return pt.peer }
+
+// PeerPort returns the reverse-direction port at the peer node.
+func (pt *Port) PeerPort() *Port { return pt.peerPort }
+
+// Owner returns the node this transmitter belongs to.
+func (pt *Port) Owner() Node { return pt.owner }
+
+// QueueBytes returns the bytes currently queued at priority prio.
+func (pt *Port) QueueBytes(prio uint8) int64 { return pt.qBytes[prio] }
+
+// QueueLen returns the number of packets queued at priority prio.
+func (pt *Port) QueueLen(prio uint8) int { return pt.queues[prio].len() }
+
+// TotalQueueBytes returns the bytes queued across all priorities.
+func (pt *Port) TotalQueueBytes() int64 {
+	var t int64
+	for _, b := range pt.qBytes {
+		t += b
+	}
+	return t
+}
+
+// TxBytes returns the cumulative transmitted byte counter (the INT
+// txBytes field).
+func (pt *Port) TxBytes() uint64 { return pt.txBytes }
+
+// RxQueueBytes returns the cumulative bytes ever enqueued at prio (the
+// INT rxBytes counter used by the HPCC-rxRate ablation).
+func (pt *Port) RxQueueBytes(prio uint8) uint64 { return pt.rxQ[prio] }
+
+// PacketsSent returns the number of packets fully serialized.
+func (pt *Port) PacketsSent() uint64 { return pt.pktsSent }
+
+// MaxQueueBytes returns the high-water mark of total queued bytes.
+func (pt *Port) MaxQueueBytes() int64 { return pt.maxQBytes }
+
+// PauseEvents returns how many pause transitions this port received.
+func (pt *Port) PauseEvents() uint64 { return pt.pauseEvents }
+
+// PausedFor returns the cumulative time the given priority has spent
+// paused, including an in-progress pause.
+func (pt *Port) PausedFor(prio uint8) sim.Time {
+	d := pt.pausedFor[prio]
+	if pt.paused[prio] {
+		d += pt.eng.Now() - pt.pauseStart[prio]
+	}
+	return d
+}
+
+// Paused reports whether prio is currently paused.
+func (pt *Port) Paused(prio uint8) bool { return pt.paused[prio] }
+
+// SetPaused applies a PFC pause or resume to one priority. The packet
+// currently being serialized, if any, always completes (hardware cannot
+// abort a frame mid-flight).
+func (pt *Port) SetPaused(prio uint8, pause bool) {
+	if pt.paused[prio] == pause {
+		return
+	}
+	pt.paused[prio] = pause
+	if pause {
+		pt.pauseStart[prio] = pt.eng.Now()
+		pt.pauseEvents++
+	} else {
+		pt.pausedFor[prio] += pt.eng.Now() - pt.pauseStart[prio]
+		pt.kick()
+	}
+}
+
+// Enqueue queues p at its priority for transmission. ingress is the
+// owner's port index the packet arrived on (-1 if locally generated).
+func (pt *Port) Enqueue(p *packet.Packet, ingress int) {
+	prio := p.Prio
+	pt.queues[prio].push(entry{p, ingress})
+	pt.qBytes[prio] += int64(p.Size)
+	pt.rxQ[prio] += uint64(p.Size)
+	if t := pt.TotalQueueBytes(); t > pt.maxQBytes {
+		pt.maxQBytes = t
+	}
+	pt.kick()
+}
+
+// kick starts the transmitter if it is idle and an eligible (unpaused,
+// nonempty) priority queue exists. Strict priority: lower index first.
+func (pt *Port) kick() {
+	if pt.busy {
+		return
+	}
+	var prio int = -1
+	for i := 0; i < NumPrio; i++ {
+		if !pt.paused[i] && !pt.queues[i].empty() {
+			prio = i
+			break
+		}
+	}
+	if prio < 0 {
+		return
+	}
+	e := pt.queues[prio].pop()
+	pt.qBytes[prio] -= int64(e.p.Size)
+	pt.busy = true
+	pt.txBytes += uint64(e.p.Size)
+	pt.pktsSent++
+	pt.owner.OnDequeue(e.p, e.ingress, pt)
+
+	txTime := pt.rate.TxTime(int(e.p.Size))
+	p := e.p
+	pt.eng.After(txTime, func() {
+		pt.busy = false
+		pt.kick()
+	})
+	pt.eng.After(txTime+pt.delay, func() {
+		pt.peer.HandleArrival(p, pt.peerPort)
+	})
+}

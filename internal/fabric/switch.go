@@ -1,0 +1,298 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// SwitchConfig sets a switch's data-plane behaviour. The defaults (via
+// Normalize) reproduce the paper's evaluation setup.
+type SwitchConfig struct {
+	// BufferBytes is the shared packet buffer size (32 MB in §5.1).
+	BufferBytes int64
+
+	// PFCEnabled turns on priority flow control. PFCAlpha is the
+	// dynamic-threshold fraction: an ingress (port, priority) is paused
+	// when its buffered bytes exceed PFCAlpha × (free buffer); the paper
+	// pauses at 11% of the free buffer (§5.1).
+	PFCEnabled bool
+	PFCAlpha   float64
+	// PFCResumeHysteresis is how many bytes below the pause threshold
+	// the ingress must drain before a resume frame is sent.
+	PFCResumeHysteresis int64
+
+	// ECNEnabled turns on WRED marking on the data priority: packets
+	// are CE-marked with probability rising linearly from 0 at KMin to
+	// PMax at KMax, and always above KMax (DCQCN-style marking).
+	ECNEnabled bool
+	KMin, KMax int64
+	PMax       float64
+
+	// INTEnabled makes the switch stamp a telemetry record into data
+	// packets at dequeue. INTQuantize additionally rounds each record
+	// through the Figure-7 wire precision, emulating the ASIC.
+	INTEnabled  bool
+	INTQuantize bool
+
+	// LossyEgressAlpha bounds each egress data queue to
+	// LossyEgressAlpha × (free buffer) when PFC is disabled; packets
+	// beyond that are dropped (the paper's footnote 6 uses α = 1 for
+	// the go-back-N and IRN experiments). Zero disables the bound.
+	LossyEgressAlpha float64
+
+	// Seed feeds the WRED coin flips.
+	Seed int64
+}
+
+// Normalize fills zero fields with the paper's defaults.
+func (c *SwitchConfig) Normalize() {
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 32 << 20
+	}
+	if c.PFCAlpha == 0 {
+		c.PFCAlpha = 0.11
+	}
+	if c.PFCResumeHysteresis == 0 {
+		c.PFCResumeHysteresis = 2 * (packet.DefaultMTU + packet.HeaderBytes)
+	}
+	if c.KMin == 0 {
+		c.KMin = 100 << 10
+	}
+	if c.KMax == 0 {
+		c.KMax = 400 << 10
+	}
+	if c.PMax == 0 {
+		c.PMax = 0.2
+	}
+}
+
+// Switch is a shared-buffer output-queued switch with ECMP routing,
+// optional PFC, WRED/ECN and INT stamping.
+type Switch struct {
+	id  NodeID
+	eng *sim.Engine
+	cfg SwitchConfig
+	rng *rand.Rand
+
+	ports  []*Port
+	routes map[NodeID][]int // destination host -> candidate egress port indices
+
+	used      int64 // shared buffer bytes in use (data priorities)
+	ingressB  [][NumPrio]int64
+	pauseSent [][NumPrio]bool
+
+	// Statistics.
+	drops      uint64
+	pfcSent    uint64
+	maxUsed    int64
+	enqueued   uint64
+	ecnMarked  uint64
+	routeErrsr uint64
+}
+
+// NewSwitch creates a switch; ports are attached afterwards with
+// AttachPort (typically via topology builders).
+func NewSwitch(eng *sim.Engine, id NodeID, cfg SwitchConfig) *Switch {
+	cfg.Normalize()
+	return &Switch{
+		id:     id,
+		eng:    eng,
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed, fmt.Sprintf("switch-%d-wred", id)),
+		routes: make(map[NodeID][]int),
+	}
+}
+
+// ID returns the switch's node ID.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Config returns the active configuration.
+func (s *Switch) Config() SwitchConfig { return s.cfg }
+
+// AttachPort registers a port created by Connect. The port's index must
+// equal its position in the attachment order.
+func (s *Switch) AttachPort(p *Port) {
+	if p.Index() != len(s.ports) {
+		panic("fabric: port attached out of order")
+	}
+	s.ports = append(s.ports, p)
+	s.ingressB = append(s.ingressB, [NumPrio]int64{})
+	s.pauseSent = append(s.pauseSent, [NumPrio]bool{})
+}
+
+// Ports returns the switch's ports in index order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// InstallRoute sets the ECMP egress port set for a destination host.
+func (s *Switch) InstallRoute(dst NodeID, portIdx []int) {
+	s.routes[dst] = portIdx
+}
+
+// Routes returns the installed routing table (read-only use).
+func (s *Switch) Routes() map[NodeID][]int { return s.routes }
+
+// Drops returns the number of packets dropped at this switch.
+func (s *Switch) Drops() uint64 { return s.drops }
+
+// ECNMarked returns the number of packets CE-marked at this switch.
+func (s *Switch) ECNMarked() uint64 { return s.ecnMarked }
+
+// PFCFramesSent returns the number of pause/resume frames emitted.
+func (s *Switch) PFCFramesSent() uint64 { return s.pfcSent }
+
+// BufferUsed returns the shared-buffer occupancy in bytes.
+func (s *Switch) BufferUsed() int64 { return s.used }
+
+// MaxBufferUsed returns the shared-buffer high-water mark.
+func (s *Switch) MaxBufferUsed() int64 { return s.maxUsed }
+
+// ecmpHash deterministically picks among n equal-cost ports based on
+// flow identity, so one flow always follows one path (per-flow ECMP).
+func ecmpHash(p *packet.Packet, salt NodeID, n int) int {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h = (h ^ v) * 1099511628211
+	}
+	mix(uint64(uint32(p.Src)))
+	mix(uint64(uint32(p.Dst)))
+	mix(uint64(uint32(p.FlowID)))
+	mix(uint64(uint32(salt)))
+	return int(h % uint64(n))
+}
+
+// HandleArrival implements Node. It routes, accounts, marks and
+// enqueues, or consumes PFC frames addressed to this hop.
+func (s *Switch) HandleArrival(p *packet.Packet, in *Port) {
+	if p.Type == packet.PFC {
+		// A pause frame from the downstream neighbor: stop/resume our
+		// transmitter on that link.
+		in.SetPaused(p.PFCPrio, p.PFCPause)
+		return
+	}
+
+	cand, ok := s.routes[NodeID(p.Dst)]
+	if !ok || len(cand) == 0 {
+		s.routeErrsr++
+		s.drops++
+		return
+	}
+	egIdx := cand[0]
+	if len(cand) > 1 {
+		egIdx = cand[ecmpHash(p, s.id, len(cand))]
+	}
+	eg := s.ports[egIdx]
+	prio := p.Prio
+	size := int64(p.Size)
+
+	if prio == PrioCtrl {
+		// Control traffic bypasses shared-buffer accounting (tiny
+		// frames on a dedicated class, never dropped or paused).
+		eg.Enqueue(p, -1)
+		return
+	}
+
+	// Lossy-mode dynamic egress threshold (paper footnote 6).
+	if !s.cfg.PFCEnabled && s.cfg.LossyEgressAlpha > 0 {
+		limit := int64(s.cfg.LossyEgressAlpha * float64(s.cfg.BufferBytes-s.used))
+		if eg.QueueBytes(prio)+size > limit {
+			s.drops++
+			return
+		}
+	}
+	// Shared buffer tail drop.
+	if s.used+size > s.cfg.BufferBytes {
+		s.drops++
+		return
+	}
+	s.used += size
+	if s.used > s.maxUsed {
+		s.maxUsed = s.used
+	}
+	s.enqueued++
+	inIdx := in.Index()
+	s.ingressB[inIdx][prio] += size
+
+	// WRED / ECN marking on the post-enqueue queue depth.
+	if s.cfg.ECNEnabled && p.Type == packet.Data {
+		q := eg.QueueBytes(prio) + size
+		if q > s.cfg.KMax {
+			p.ECNCE = true
+			s.ecnMarked++
+		} else if q > s.cfg.KMin {
+			prob := float64(q-s.cfg.KMin) / float64(s.cfg.KMax-s.cfg.KMin) * s.cfg.PMax
+			if s.rng.Float64() < prob {
+				p.ECNCE = true
+				s.ecnMarked++
+			}
+		}
+	}
+
+	eg.Enqueue(p, inIdx)
+
+	// PFC: pause the upstream if this ingress now exceeds the dynamic
+	// threshold.
+	if s.cfg.PFCEnabled && !s.pauseSent[inIdx][prio] {
+		if s.ingressB[inIdx][prio] > s.pfcThreshold() {
+			s.pauseSent[inIdx][prio] = true
+			s.sendPFC(in, prio, true)
+		}
+	}
+}
+
+// pfcThreshold returns the current dynamic pause threshold in bytes.
+func (s *Switch) pfcThreshold() int64 {
+	free := s.cfg.BufferBytes - s.used
+	if free < 0 {
+		free = 0
+	}
+	return int64(s.cfg.PFCAlpha * float64(free))
+}
+
+func (s *Switch) sendPFC(via *Port, prio uint8, pause bool) {
+	f := &packet.Packet{
+		Type:     packet.PFC,
+		Prio:     PrioCtrl,
+		Size:     packet.CtrlBytes,
+		PFCPrio:  prio,
+		PFCPause: pause,
+	}
+	s.pfcSent++
+	via.Enqueue(f, -1)
+}
+
+// OnDequeue implements Node: buffer release, PFC resume checks and INT
+// stamping at the egress, in that order.
+func (s *Switch) OnDequeue(p *packet.Packet, ingress int, from *Port) {
+	if ingress >= 0 {
+		prio := p.Prio
+		size := int64(p.Size)
+		s.used -= size
+		s.ingressB[ingress][prio] -= size
+		if s.cfg.PFCEnabled && s.pauseSent[ingress][prio] {
+			resumeAt := s.pfcThreshold() - s.cfg.PFCResumeHysteresis
+			if resumeAt < 0 {
+				resumeAt = 0
+			}
+			if s.ingressB[ingress][prio] <= resumeAt {
+				s.pauseSent[ingress][prio] = false
+				s.sendPFC(s.ports[ingress], prio, false)
+			}
+		}
+	}
+	if s.cfg.INTEnabled && p.Type == packet.Data {
+		hop := packet.Hop{
+			B:       from.Rate(),
+			TS:      s.eng.Now(),
+			TxBytes: from.TxBytes(),
+			RxBytes: from.RxQueueBytes(p.Prio),
+			QLen:    from.QueueBytes(p.Prio),
+		}
+		if s.cfg.INTQuantize {
+			hop = hop.Quantize()
+		}
+		p.INT.Push(hop, uint16(s.id))
+	}
+}

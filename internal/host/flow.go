@@ -1,0 +1,351 @@
+package host
+
+import (
+	"math"
+
+	"hpcc/internal/cc"
+	"hpcc/internal/fabric"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+var pktID uint64
+
+// Flow is one sender-side queue pair: it segments size bytes into
+// MTU-sized packets, enforces the CC window and pacing rate, and runs
+// loss recovery.
+type Flow struct {
+	ID   int32
+	host *Host
+	dst  fabric.NodeID
+	size int64
+	port *fabric.Port
+	alg  cc.Algorithm
+
+	sndNxt, sndUna int64
+	nextSendAt     sim.Time
+	sendEv         *sim.Event
+	rtoEv          *sim.Event
+	lastProgress   sim.Time
+
+	// IRN state.
+	sacked      map[int64]int32 // out-of-order acked chunks: seq -> len
+	sackedBytes int64
+	rtx         map[int64]int32 // pending selective retransmits: seq -> len
+	irnCap      float64         // fixed one-BDP inflight cap
+	lastRtxSeq  int64
+	lastRtxAt   sim.Time
+
+	started  sim.Time
+	finished sim.Time
+	done     bool
+	alive    bool
+	pending  bool // waiting for a flow-scheduler engine slot (§4.3)
+	admitted bool // holds a scheduler slot (must be released at teardown)
+	onDone   func(*Flow)
+
+	// OnProgress, if set, observes every cumulative-ACK advance (for
+	// throughput time series).
+	OnProgress func(f *Flow, newlyAcked int64)
+
+	pktsSent, pktsRtx uint64
+}
+
+// Size returns the flow's total bytes.
+func (f *Flow) Size() int64 { return f.size }
+
+// Started returns the flow start time.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Finished returns the completion time (valid once Done).
+func (f *Flow) Finished() sim.Time { return f.finished }
+
+// Done reports whether every byte has been cumulatively acknowledged.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time (valid once Done).
+func (f *Flow) FCT() sim.Time { return f.finished - f.started }
+
+// Acked returns the cumulatively acknowledged byte count.
+func (f *Flow) Acked() int64 { return f.sndUna }
+
+// Dst returns the destination host's node ID.
+func (f *Flow) Dst() fabric.NodeID { return f.dst }
+
+// Alg exposes the flow's CC instance for tracing.
+func (f *Flow) Alg() cc.Algorithm { return f.alg }
+
+// PacketsSent returns total data packets emitted (including
+// retransmissions, reported separately by Retransmits).
+func (f *Flow) PacketsSent() uint64 { return f.pktsSent }
+
+// Retransmits returns the number of retransmitted packets.
+func (f *Flow) Retransmits() uint64 { return f.pktsRtx }
+
+// inflight returns the unacknowledged bytes currently in the network.
+func (f *Flow) inflight() int64 {
+	return f.sndNxt - f.sndUna - f.sackedBytes
+}
+
+// window returns the effective inflight cap: the CC window, further
+// bounded by IRN's fixed BDP cap in IRN mode.
+func (f *Flow) window() float64 {
+	w := f.alg.WindowBytes()
+	if f.host.cfg.FlowCtl == IRN && w > f.irnCap {
+		w = f.irnCap
+	}
+	return w
+}
+
+// nextChunk picks the next (seq, payload) to transmit: pending
+// selective retransmits first (IRN), then new data.
+func (f *Flow) nextChunk() (seq int64, payload int32, isRtx bool) {
+	if len(f.rtx) > 0 {
+		seq = math.MaxInt64
+		for s := range f.rtx {
+			if s < seq {
+				seq = s
+			}
+		}
+		return seq, f.rtx[seq], true
+	}
+	if f.sndNxt < f.size {
+		p := f.size - f.sndNxt
+		if p > int64(f.host.cfg.MTU) {
+			p = int64(f.host.cfg.MTU)
+		}
+		return f.sndNxt, int32(p), false
+	}
+	return 0, 0, false
+}
+
+// trySend transmits as many packets as the window and pacer allow,
+// arming the pacing timer when it runs ahead of the clock.
+func (f *Flow) trySend() {
+	if f.done || !f.alive || f.pending {
+		return
+	}
+	now := f.host.eng.Now()
+	for {
+		seq, payload, isRtx := f.nextChunk()
+		if payload == 0 {
+			return
+		}
+		// Window gate; a flow with nothing inflight may always send one
+		// packet so a sub-MTU window cannot deadlock it.
+		if f.inflight() > 0 && float64(f.inflight()+int64(payload)) > f.window() {
+			return
+		}
+		if now < f.nextSendAt {
+			f.armSendTimer()
+			return
+		}
+		f.emit(now, seq, payload, isRtx)
+	}
+}
+
+func (f *Flow) emit(now sim.Time, seq int64, payload int32, isRtx bool) {
+	size := payload + packet.HeaderBytes
+	if f.host.cfg.INT {
+		size += packet.INTOverhead
+	}
+	pktID++
+	p := &packet.Packet{
+		ID:         pktID,
+		Type:       packet.Data,
+		FlowID:     f.ID,
+		Src:        int32(f.host.id),
+		Dst:        int32(f.dst),
+		Prio:       fabric.PrioData,
+		Size:       size,
+		Seq:        seq,
+		PayloadLen: payload,
+		SendTS:     now,
+	}
+	f.port.Enqueue(p, -1)
+	f.pktsSent++
+	if isRtx {
+		f.pktsRtx++
+		delete(f.rtx, seq)
+	} else {
+		f.sndNxt = seq + int64(payload)
+	}
+	// Pace the next transmission at the CC rate.
+	rate := f.alg.RateBps()
+	if rate > float64(f.port.Rate()) {
+		rate = float64(f.port.Rate())
+	}
+	var gap sim.Time
+	if rate > 0 {
+		gap = sim.Time(float64(size) * 8 * float64(sim.Second) / rate)
+	}
+	base := f.nextSendAt
+	if now > base {
+		base = now
+	}
+	f.nextSendAt = base + gap
+}
+
+func (f *Flow) armSendTimer() {
+	if f.sendEv != nil {
+		f.host.eng.Cancel(f.sendEv)
+	}
+	f.sendEv = f.host.eng.At(f.nextSendAt, func() {
+		f.sendEv = nil
+		f.trySend()
+	})
+}
+
+// handleAck processes a cumulative (and, under IRN, selective) ACK.
+func (f *Flow) handleAck(p *packet.Packet) {
+	if f.done {
+		return
+	}
+	now := f.host.eng.Now()
+	newly := int64(0)
+	if p.AckSeq > f.sndUna {
+		newly = p.AckSeq - f.sndUna
+		f.sndUna = p.AckSeq
+		f.lastProgress = now
+	}
+	if f.host.cfg.FlowCtl == IRN {
+		f.irnOnAck(p, now)
+	}
+
+	ev := cc.AckEvent{
+		Now:        now,
+		RTT:        now - p.EchoTS,
+		AckSeq:     p.AckSeq,
+		SndNxt:     f.sndNxt,
+		AckedBytes: newly,
+		ECE:        p.ECE,
+		Hops:       p.INT.Records(),
+		PathID:     p.INT.PathID,
+	}
+	f.alg.OnAck(&ev)
+
+	if newly > 0 && f.OnProgress != nil {
+		f.OnProgress(f, newly)
+	}
+	if f.sndUna >= f.size {
+		f.complete(now)
+		return
+	}
+	f.trySend()
+}
+
+// irnOnAck maintains the selective-repeat state: record out-of-order
+// deliveries and queue gap retransmissions.
+func (f *Flow) irnOnAck(p *packet.Packet, now sim.Time) {
+	// Clear sacked chunks the cumulative ACK has overtaken.
+	for s, l := range f.sacked {
+		if s < f.sndUna {
+			delete(f.sacked, s)
+			f.sackedBytes -= int64(l)
+		}
+	}
+	if p.DataSeq > p.AckSeq {
+		// The receiver holds DataSeq but still waits at AckSeq: a gap.
+		if _, dup := f.sacked[p.DataSeq]; !dup && p.DataSeq >= f.sndUna {
+			// Length of the sacked chunk: MTU-bounded remainder.
+			l := f.size - p.DataSeq
+			if l > int64(f.host.cfg.MTU) {
+				l = int64(f.host.cfg.MTU)
+			}
+			f.sacked[p.DataSeq] = int32(l)
+			f.sackedBytes += l
+		}
+		// Queue the missing chunk at AckSeq unless recently requeued.
+		if p.AckSeq != f.lastRtxSeq || now-f.lastRtxAt > f.host.cfg.BaseRTT {
+			gapLen := f.size - p.AckSeq
+			if gapLen > int64(f.host.cfg.MTU) {
+				gapLen = int64(f.host.cfg.MTU)
+			}
+			if gapLen > 0 && p.AckSeq < f.sndNxt {
+				f.rtx[p.AckSeq] = int32(gapLen)
+				f.lastRtxSeq = p.AckSeq
+				f.lastRtxAt = now
+			}
+		}
+	}
+}
+
+// handleNack processes a go-back-N NACK: rewind to the receiver's
+// expected sequence.
+func (f *Flow) handleNack(p *packet.Packet) {
+	if f.done || f.host.cfg.FlowCtl != GoBackN {
+		return
+	}
+	if p.AckSeq > f.sndUna {
+		f.sndUna = p.AckSeq // NACK also acknowledges everything before the gap
+	}
+	if p.AckSeq < f.sndNxt {
+		f.sndNxt = p.AckSeq
+		f.pktsRtx++ // count the rewind episode
+	}
+	f.trySend()
+}
+
+// armRTO arms the retransmission-timeout backstop.
+func (f *Flow) armRTO() {
+	f.rtoEv = f.host.eng.After(f.host.cfg.RTO, func() {
+		f.rtoEv = nil
+		if f.done || !f.alive {
+			return
+		}
+		now := f.host.eng.Now()
+		if f.inflight() > 0 && now-f.lastProgress >= f.host.cfg.RTO {
+			// Timed out: rewind (GBN) or requeue the unacked head (IRN).
+			if f.host.cfg.FlowCtl == GoBackN {
+				f.sndNxt = f.sndUna
+				f.pktsRtx++ // count the rewind episode
+			} else {
+				l := f.size - f.sndUna
+				if l > int64(f.host.cfg.MTU) {
+					l = int64(f.host.cfg.MTU)
+				}
+				if l > 0 && f.sndUna < f.sndNxt {
+					f.rtx[f.sndUna] = int32(l)
+				}
+			}
+			f.lastProgress = now
+			f.trySend()
+		}
+		f.armRTO()
+	})
+}
+
+// Abort stops the flow immediately without firing onDone — used by
+// experiments to make long-running flows "leave" at a scheduled time.
+func (f *Flow) Abort() {
+	if f.done {
+		return
+	}
+	f.teardown(f.host.eng.Now())
+}
+
+func (f *Flow) complete(now sim.Time) {
+	f.teardown(now)
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}
+
+func (f *Flow) teardown(now sim.Time) {
+	f.done = true
+	f.alive = false
+	f.finished = now
+	if f.sendEv != nil {
+		f.host.eng.Cancel(f.sendEv)
+		f.sendEv = nil
+	}
+	if f.rtoEv != nil {
+		f.host.eng.Cancel(f.rtoEv)
+		f.rtoEv = nil
+	}
+	if f.admitted {
+		f.admitted = false
+		f.host.flowFinished()
+	}
+	f.pending = false
+}

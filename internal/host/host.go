@@ -1,0 +1,283 @@
+// Package host models the RDMA NIC endpoints: per-flow queue pairs with
+// sending windows and packet pacing (§3.2), receiver-side ACK/NACK/CNP
+// generation, and the two loss-recovery modes the paper evaluates —
+// go-back-N (RoCEv2 default) and IRN-style selective repeat (§5.3,
+// Figure 12).
+package host
+
+import (
+	"fmt"
+
+	"hpcc/internal/cc"
+	"hpcc/internal/fabric"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// FlowControl selects the loss-recovery scheme.
+type FlowControl int
+
+const (
+	// GoBackN is RoCEv2's default: an out-of-sequence arrival triggers
+	// a NACK and the sender rewinds to the lost packet.
+	GoBackN FlowControl = iota
+	// IRN is selective repeat with a fixed one-BDP inflight cap, per
+	// Mittal et al. (SIGCOMM 2018) as used in Figure 12.
+	IRN
+)
+
+func (fc FlowControl) String() string {
+	if fc == IRN {
+		return "IRN"
+	}
+	return "GBN"
+}
+
+// Config sets host-wide transport behaviour.
+type Config struct {
+	// CC builds each new flow's congestion-control instance.
+	CC cc.Factory
+	// FlowCtl selects go-back-N or IRN recovery.
+	FlowCtl FlowControl
+	// MTU is the data payload size per packet; default 1000 (§5.1).
+	MTU int
+	// INT adds the 42-byte INT header to data packets and echoes INT
+	// records in ACKs (required by HPCC; off for the baselines).
+	INT bool
+	// BaseRTT is the network-wide base RTT T handed to CC (§3.2).
+	BaseRTT sim.Time
+	// CNPInterval is the minimum gap between CNPs per flow at the
+	// receiver (DCQCN's NP state machine); default 50 µs. Negative
+	// disables CNP generation.
+	CNPInterval sim.Time
+	// RTO is the retransmission-timeout backstop for lossy modes;
+	// default 1 ms.
+	RTO sim.Time
+	// SchedulerEngines models the NIC flow-scheduler clock engines of
+	// §4.3: each engine sustains up to 50 concurrent flows at line
+	// rate (the FPGA prototype has six). Flows beyond the capacity
+	// wait FIFO until a slot frees. Zero means unlimited (ASIC-class).
+	SchedulerEngines int
+	// Seed feeds per-flow deterministic randomness.
+	Seed int64
+}
+
+// FlowsPerEngine is the per-clock-engine concurrent-flow capacity of
+// the FPGA prototype (§4.3).
+const FlowsPerEngine = 50
+
+func (c *Config) normalize() {
+	if c.MTU == 0 {
+		c.MTU = packet.DefaultMTU
+	}
+	if c.CNPInterval == 0 {
+		c.CNPInterval = 50 * sim.Microsecond
+	}
+	if c.RTO == 0 {
+		c.RTO = sim.Millisecond
+	}
+	if c.BaseRTT == 0 {
+		c.BaseRTT = 10 * sim.Microsecond
+	}
+}
+
+// Host is a server endpoint with one or more NIC ports.
+type Host struct {
+	id    fabric.NodeID
+	eng   *sim.Engine
+	cfg   Config
+	ports []*fabric.Port
+	flows map[int32]*Flow
+	recv  map[int32]*recvState
+
+	// RDMA READ requester state: flow ID -> (expected bytes, callback).
+	reads map[int32]*pendingRead
+
+	// Flow-scheduler engine limit (§4.3): active sender flows beyond
+	// the clock-engine capacity wait here in FIFO order.
+	activeFlows int
+	waiting     []*Flow
+}
+
+type pendingRead struct {
+	size   int64
+	onDone func()
+}
+
+// New creates a host. Ports are attached afterwards (via topology
+// builders) with AttachPort.
+func New(eng *sim.Engine, id fabric.NodeID, cfg Config) *Host {
+	cfg.normalize()
+	return &Host{
+		id:    id,
+		eng:   eng,
+		cfg:   cfg,
+		flows: make(map[int32]*Flow),
+		recv:  make(map[int32]*recvState),
+		reads: make(map[int32]*pendingRead),
+	}
+}
+
+// ID implements fabric.Node.
+func (h *Host) ID() fabric.NodeID { return h.id }
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// AttachPort registers a NIC port created by fabric.Connect; its index
+// must match the attachment order.
+func (h *Host) AttachPort(p *fabric.Port) {
+	if p.Index() != len(h.ports) {
+		panic("host: port attached out of order")
+	}
+	h.ports = append(h.ports, p)
+}
+
+// Ports returns the host's NIC ports.
+func (h *Host) Ports() []*fabric.Port { return h.ports }
+
+// OnDequeue implements fabric.Node; hosts need no dequeue-time hooks.
+func (h *Host) OnDequeue(p *packet.Packet, ingress int, from *fabric.Port) {}
+
+// HandleArrival implements fabric.Node: dispatch by frame type.
+func (h *Host) HandleArrival(p *packet.Packet, in *fabric.Port) {
+	switch p.Type {
+	case packet.PFC:
+		in.SetPaused(p.PFCPrio, p.PFCPause)
+	case packet.Data:
+		h.handleData(p, in)
+	case packet.Ack:
+		if f := h.flows[p.FlowID]; f != nil {
+			f.handleAck(p)
+		}
+	case packet.Nack:
+		if f := h.flows[p.FlowID]; f != nil {
+			f.handleNack(p)
+		}
+	case packet.CNP:
+		if f := h.flows[p.FlowID]; f != nil && !f.done {
+			f.alg.OnCNP(h.eng.Now())
+			f.trySend()
+		}
+	case packet.ReadReq:
+		// RDMA READ responder: stream the requested bytes back as a
+		// plain data flow owned by this host.
+		h.StartFlow(p.FlowID, fabric.NodeID(p.Src), p.Seq, int(p.FlowID)%len(h.ports), nil)
+	default:
+		panic(fmt.Sprintf("host: unknown packet type %v", p.Type))
+	}
+}
+
+// StartFlow creates and starts a sender flow of size bytes toward dst,
+// bound to the local port portIdx. id must be unique network-wide.
+// onDone, if non-nil, fires at completion (all bytes cumulatively
+// ACKed). If the flow-scheduler engines are saturated, the flow queues
+// until a slot frees (§4.3).
+func (h *Host) StartFlow(id int32, dst fabric.NodeID, size int64, portIdx int, onDone func(*Flow)) *Flow {
+	if _, dup := h.flows[id]; dup {
+		panic(fmt.Sprintf("host: duplicate flow id %d", id))
+	}
+	port := h.ports[portIdx]
+	f := &Flow{
+		ID:      id,
+		host:    h,
+		dst:     dst,
+		size:    size,
+		port:    port,
+		started: h.eng.Now(),
+		onDone:  onDone,
+		alive:   true,
+	}
+	if h.cfg.FlowCtl == IRN {
+		f.sacked = make(map[int64]int32)
+		f.rtx = make(map[int64]int32)
+		env := cc.Env{LineRate: port.Rate(), BaseRTT: h.cfg.BaseRTT}
+		f.irnCap = env.BDP()
+	}
+	f.alg = h.cfg.CC()
+	f.alg.Init(cc.Env{
+		Now: h.eng.Now,
+		Schedule: func(d sim.Time, fn func()) {
+			h.eng.After(d, func() {
+				if f.alive {
+					fn()
+					f.trySend()
+				}
+			})
+		},
+		LineRate: port.Rate(),
+		BaseRTT:  h.cfg.BaseRTT,
+		MTU:      h.cfg.MTU,
+		Seed:     h.cfg.Seed ^ int64(id),
+	})
+	h.flows[id] = f
+	if size <= 0 {
+		// Degenerate zero-byte transfer: complete immediately (after
+		// the current event, so the caller sees the handle first).
+		h.eng.After(0, func() { f.complete(h.eng.Now()) })
+		return f
+	}
+	if cap := h.schedCapacity(); cap > 0 && h.activeFlows >= cap {
+		f.pending = true
+		h.waiting = append(h.waiting, f)
+		return f
+	}
+	h.admit(f)
+	return f
+}
+
+// admit grants f a scheduler slot and starts transmission.
+func (h *Host) admit(f *Flow) {
+	h.activeFlows++
+	f.admitted = true
+	f.armRTO()
+	f.trySend()
+}
+
+func (h *Host) schedCapacity() int {
+	if h.cfg.SchedulerEngines <= 0 {
+		return 0
+	}
+	return h.cfg.SchedulerEngines * FlowsPerEngine
+}
+
+// flowFinished releases the flow's scheduler slot and admits the next
+// waiting flow, if any.
+func (h *Host) flowFinished() {
+	if h.schedCapacity() == 0 {
+		return
+	}
+	h.activeFlows--
+	for len(h.waiting) > 0 && h.activeFlows < h.schedCapacity() {
+		next := h.waiting[0]
+		h.waiting = h.waiting[1:]
+		if next.done {
+			continue // aborted while waiting
+		}
+		next.pending = false
+		next.started = h.eng.Now() // queueing delay excluded from FCT
+		h.admit(next)
+	}
+}
+
+// Read issues an RDMA READ: the responder streams size bytes back to
+// this host as flow id. onDone fires here (at the requester) once all
+// bytes have arrived in order. The request rides the control class.
+func (h *Host) Read(id int32, responder fabric.NodeID, size int64, portIdx int, onDone func()) {
+	h.reads[id] = &pendingRead{size: size, onDone: onDone}
+	pktID++
+	req := &packet.Packet{
+		ID:     pktID,
+		Type:   packet.ReadReq,
+		FlowID: id,
+		Src:    int32(h.id),
+		Dst:    int32(responder),
+		Prio:   fabric.PrioCtrl,
+		Size:   packet.CtrlBytes,
+		Seq:    size,
+	}
+	h.ports[portIdx].Enqueue(req, -1)
+}
+
+// Flows returns the host's sender flows (live and completed).
+func (h *Host) Flows() map[int32]*Flow { return h.flows }

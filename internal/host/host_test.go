@@ -1,0 +1,355 @@
+package host
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpcc/internal/cc"
+	hpcccc "hpcc/internal/cc/hpcc"
+	"hpcc/internal/fabric"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// mockCC is a scriptable algorithm for transport-level tests.
+type mockCC struct {
+	w    float64
+	rate float64
+	env  cc.Env
+
+	acks    int
+	cnps    int
+	lastEv  cc.AckEvent
+	rttSeen []sim.Time
+}
+
+func (m *mockCC) Name() string     { return "mock" }
+func (m *mockCC) Init(env cc.Env)  { m.env = env }
+func (m *mockCC) OnCNP(sim.Time)   { m.cnps++ }
+func (m *mockCC) RateBps() float64 { return m.rate }
+func (m *mockCC) WindowBytes() float64 {
+	if m.w <= 0 {
+		return cc.Unlimited()
+	}
+	return m.w
+}
+func (m *mockCC) OnAck(ev *cc.AckEvent) {
+	m.acks++
+	m.lastEv = *ev
+	m.rttSeen = append(m.rttSeen, ev.RTT)
+}
+
+// net is a star test network: n hosts around one switch.
+type net struct {
+	eng    *sim.Engine
+	sw     *fabric.Switch
+	hosts  []*Host
+	nextID int32
+}
+
+// buildStar wires n hosts to a single switch with hostRate links and
+// the given one-way delay.
+func buildStar(n int, hcfg Config, scfg fabric.SwitchConfig, hostRate sim.Rate, delay sim.Time) *net {
+	eng := sim.NewEngine()
+	sw := fabric.NewSwitch(eng, 1000, scfg)
+	nw := &net{eng: eng, sw: sw}
+	for i := 0; i < n; i++ {
+		h := New(eng, fabric.NodeID(i+1), hcfg)
+		hp, sp := fabric.Connect(eng, h, sw, 0, i, hostRate, delay)
+		h.AttachPort(hp)
+		sw.AttachPort(sp)
+		sw.InstallRoute(h.ID(), []int{i})
+		nw.hosts = append(nw.hosts, h)
+	}
+	return nw
+}
+
+func (nw *net) start(src, dst int, size int64, onDone func(*Flow)) *Flow {
+	nw.nextID++
+	return nw.hosts[src].StartFlow(nw.nextID, nw.hosts[dst].ID(), size, 0, onDone)
+}
+
+const line100 = 100 * sim.Gbps
+
+func hpccConfig() Config {
+	return Config{
+		CC:      hpcccc.New(hpcccc.Config{}),
+		INT:     true,
+		BaseRTT: 10 * sim.Microsecond,
+	}
+}
+
+func TestFlowCompletesHPCC(t *testing.T) {
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	var fct sim.Time
+	f := nw.start(0, 1, 1<<20, func(f *Flow) { fct = f.FCT() })
+	nw.eng.Run()
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if f.Acked() != 1<<20 {
+		t.Fatalf("acked = %d, want %d", f.Acked(), 1<<20)
+	}
+	// Ideal: 1049 packets × 1106 B at 100G ≈ 93 µs serialization plus a
+	// few µs of RTT; HPCC paces at ≥ 95% of line. Anything within
+	// [90µs, 160µs] is sane.
+	if fct < 90*sim.Microsecond || fct > 160*sim.Microsecond {
+		t.Fatalf("FCT = %v, expected ≈ 95-120µs", fct)
+	}
+	if nw.sw.Drops() != 0 {
+		t.Fatalf("drops = %d", nw.sw.Drops())
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	// Window of exactly 4 packets: the sender must never have more than
+	// 4×1064 unacked wire bytes out.
+	mock := &mockCC{w: 4 * 1064, rate: float64(line100)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond}
+	nw := buildStar(2, cfg, fabric.SwitchConfig{}, line100, 10*sim.Microsecond)
+	f := nw.start(0, 1, 200_000, nil)
+
+	maxInflight := int64(0)
+	var sample func()
+	sample = func() {
+		if infl := f.inflight(); infl > maxInflight {
+			maxInflight = infl
+		}
+		if !f.Done() {
+			nw.eng.After(sim.Microsecond, sample)
+		}
+	}
+	nw.eng.After(0, sample)
+	nw.eng.Run()
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if maxInflight > 5*1000 {
+		t.Fatalf("inflight reached %d bytes, window is %d", maxInflight, 4*1064)
+	}
+}
+
+func TestPacingHalvesThroughput(t *testing.T) {
+	mock := &mockCC{w: 0, rate: float64(line100) / 2}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond}
+	nw := buildStar(2, cfg, fabric.SwitchConfig{}, line100, sim.Microsecond)
+	var fct sim.Time
+	nw.start(0, 1, 1_000_000, func(f *Flow) { fct = f.FCT() })
+	nw.eng.Run()
+	// 1000 packets × 1064 B at 50 Gbps ≈ 170 µs.
+	want := (50 * sim.Gbps).TxTime(1_064_000)
+	if fct < want || fct > want+20*sim.Microsecond {
+		t.Fatalf("FCT = %v, want ≈ %v (paced at half line)", fct, want)
+	}
+}
+
+func TestRTTMeasurement(t *testing.T) {
+	mock := &mockCC{w: 0, rate: float64(line100)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond}
+	// Two 5µs links each way → base RTT 20µs + serialization.
+	nw := buildStar(2, cfg, fabric.SwitchConfig{}, line100, 5*sim.Microsecond)
+	nw.start(0, 1, 10_000, nil)
+	nw.eng.Run()
+	if len(mock.rttSeen) == 0 {
+		t.Fatal("no RTT samples")
+	}
+	first := mock.rttSeen[0]
+	if first < 20*sim.Microsecond || first > 22*sim.Microsecond {
+		t.Fatalf("RTT = %v, want ≈ 20-21µs", first)
+	}
+}
+
+func TestAckEventFields(t *testing.T) {
+	mock := &mockCC{w: 0, rate: float64(line100)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, INT: true, BaseRTT: 10 * sim.Microsecond}
+	nw := buildStar(2, cfg, fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	nw.start(0, 1, 5_000, nil)
+	nw.eng.Run()
+	if mock.acks != 5 {
+		t.Fatalf("acks = %d, want 5 (one per packet)", mock.acks)
+	}
+	ev := mock.lastEv
+	if ev.AckSeq != 5000 {
+		t.Fatalf("final AckSeq = %d", ev.AckSeq)
+	}
+	if len(ev.Hops) != 1 {
+		t.Fatalf("INT hops = %d, want 1", len(ev.Hops))
+	}
+	if ev.Hops[0].B != line100 {
+		t.Fatalf("hop B = %v", ev.Hops[0].B)
+	}
+}
+
+func TestGoBackNRecovery(t *testing.T) {
+	// Overload a 25G egress at 2× line rate with a tiny lossy buffer:
+	// drops force NACK-driven rewinds, yet the flow must complete with
+	// every byte delivered in order.
+	mock := &mockCC{w: 0, rate: float64(50 * sim.Gbps)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond, RTO: sim.Millisecond}
+	scfg := fabric.SwitchConfig{BufferBytes: 64 << 10, PFCEnabled: false, LossyEgressAlpha: 1}
+	eng := sim.NewEngine()
+	sw := fabric.NewSwitch(eng, 1000, scfg)
+	a := New(eng, 1, cfg)
+	b := New(eng, 2, cfg)
+	ap, sa := fabric.Connect(eng, a, sw, 0, 0, 100*sim.Gbps, sim.Microsecond)
+	a.AttachPort(ap)
+	sw.AttachPort(sa)
+	sb, bp := fabric.Connect(eng, sw, b, 1, 0, 25*sim.Gbps, sim.Microsecond)
+	sw.AttachPort(sb)
+	b.AttachPort(bp)
+	sw.InstallRoute(a.ID(), []int{0})
+	sw.InstallRoute(b.ID(), []int{1})
+
+	f := a.StartFlow(1, b.ID(), 2_000_000, 0, nil)
+	eng.Run()
+	if !f.Done() {
+		t.Fatal("flow did not complete despite GBN recovery")
+	}
+	if sw.Drops() == 0 {
+		t.Fatal("test needs drops to exercise recovery")
+	}
+	if f.Retransmits() == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+	if got := b.recv[1].rcvNxt; got != 2_000_000 {
+		t.Fatalf("receiver got %d bytes in order, want 2000000", got)
+	}
+}
+
+func TestIRNRecovery(t *testing.T) {
+	mock := &mockCC{w: 0, rate: float64(50 * sim.Gbps)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, FlowCtl: IRN, BaseRTT: 10 * sim.Microsecond, RTO: sim.Millisecond}
+	scfg := fabric.SwitchConfig{BufferBytes: 64 << 10, PFCEnabled: false, LossyEgressAlpha: 1}
+	eng := sim.NewEngine()
+	sw := fabric.NewSwitch(eng, 1000, scfg)
+	a := New(eng, 1, cfg)
+	b := New(eng, 2, cfg)
+	ap, sa := fabric.Connect(eng, a, sw, 0, 0, 100*sim.Gbps, sim.Microsecond)
+	a.AttachPort(ap)
+	sw.AttachPort(sa)
+	sb, bp := fabric.Connect(eng, sw, b, 1, 0, 25*sim.Gbps, sim.Microsecond)
+	sw.AttachPort(sb)
+	b.AttachPort(bp)
+	sw.InstallRoute(a.ID(), []int{0})
+	sw.InstallRoute(b.ID(), []int{1})
+
+	f := a.StartFlow(1, b.ID(), 2_000_000, 0, nil)
+	eng.Run()
+	if !f.Done() {
+		t.Fatal("flow did not complete despite IRN recovery")
+	}
+	if f.Retransmits() == 0 {
+		t.Fatal("no selective retransmissions recorded")
+	}
+	if got := b.recv[1].rcvNxt; got != 2_000_000 {
+		t.Fatalf("receiver got %d bytes in order, want 2000000", got)
+	}
+}
+
+func TestCNPGeneration(t *testing.T) {
+	mock := &mockCC{w: 0, rate: float64(line100)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond, CNPInterval: 50 * sim.Microsecond}
+	// Force marking from the first packet.
+	scfg := fabric.SwitchConfig{ECNEnabled: true, KMin: 1, KMax: 2, PMax: 1}
+	eng := sim.NewEngine()
+	sw := fabric.NewSwitch(eng, 1000, scfg)
+	a := New(eng, 1, cfg)
+	b := New(eng, 2, cfg)
+	ap, sa := fabric.Connect(eng, a, sw, 0, 0, 100*sim.Gbps, sim.Microsecond)
+	a.AttachPort(ap)
+	sw.AttachPort(sa)
+	sb, bp := fabric.Connect(eng, sw, b, 1, 0, 25*sim.Gbps, sim.Microsecond)
+	sw.AttachPort(sb)
+	b.AttachPort(bp)
+	sw.InstallRoute(a.ID(), []int{0})
+	sw.InstallRoute(b.ID(), []int{1})
+
+	a.StartFlow(1, b.ID(), 3_000_000, 0, nil)
+	eng.Run()
+	if mock.cnps == 0 {
+		t.Fatal("no CNPs delivered to the sender")
+	}
+	// Rate-limited to one per 50µs: 3MB at ~25G takes ≈ 1 ms → at most
+	// ~21 CNPs (plus slack for recovery tail).
+	if mock.cnps > 40 {
+		t.Fatalf("cnps = %d, exceeds the 50µs rate limit", mock.cnps)
+	}
+}
+
+func TestSubMTUWindowNoDeadlock(t *testing.T) {
+	// A window smaller than one packet must still let a lone packet out
+	// (inflight == 0 exemption), or the flow deadlocks.
+	mock := &mockCC{w: 100, rate: float64(line100)}
+	cfg := Config{CC: func() cc.Algorithm { return mock }, BaseRTT: 10 * sim.Microsecond}
+	nw := buildStar(2, cfg, fabric.SwitchConfig{}, line100, sim.Microsecond)
+	f := nw.start(0, 1, 10_000, nil)
+	nw.eng.Run()
+	if !f.Done() {
+		t.Fatal("sub-MTU window deadlocked the flow")
+	}
+}
+
+func TestPFCPausesHostPort(t *testing.T) {
+	// Two senders blast one receiver with PFC on: the switch pauses the
+	// host uplinks; nothing is dropped and both flows finish.
+	cfg := hpccConfig()
+	scfg := fabric.SwitchConfig{BufferBytes: 256 << 10, PFCEnabled: true, INTEnabled: true}
+	nw := buildStar(3, cfg, scfg, line100, sim.Microsecond)
+	f1 := nw.start(0, 2, 500_000, nil)
+	f2 := nw.start(1, 2, 500_000, nil)
+	nw.eng.Run()
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("incast flows did not complete")
+	}
+	if nw.sw.Drops() != 0 {
+		t.Fatalf("drops = %d with PFC enabled", nw.sw.Drops())
+	}
+}
+
+func TestMultipleFlowsSharePort(t *testing.T) {
+	nw := buildStar(3, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	f1 := nw.start(0, 1, 300_000, nil)
+	f2 := nw.start(0, 2, 300_000, nil)
+	nw.eng.Run()
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("concurrent flows on one NIC did not finish")
+	}
+}
+
+// Property: on a clean network, flows of any size complete with acked ==
+// size under both GBN and IRN.
+func TestFlowCompletionProperty(t *testing.T) {
+	f := func(sizeRaw uint32, irn bool) bool {
+		size := int64(sizeRaw%500_000) + 1
+		cfg := hpccConfig()
+		if irn {
+			cfg.FlowCtl = IRN
+		}
+		nw := buildStar(2, cfg, fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+		fl := nw.start(0, 1, size, nil)
+		nw.eng.Run()
+		return fl.Done() && fl.Acked() >= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPCCWindowConvergesNearEta(t *testing.T) {
+	// A single long flow through one switch: HPCC should settle with W
+	// around η × BDP (±WAI wiggle), i.e. utilization just under line.
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	f := nw.start(0, 1, 1<<40, nil) // effectively infinite
+	nw.eng.RunUntil(2 * sim.Millisecond)
+	alg := f.Alg().(*hpcccc.HPCC)
+	bdp := line100.BytesPerSec() * (10 * sim.Microsecond).Seconds()
+	w := alg.Window()
+	if w < 0.80*bdp || w > 1.0*bdp {
+		t.Fatalf("steady-state W = %v, want ≈ η×BDP = %v", w, 0.95*bdp)
+	}
+	if math.IsNaN(alg.Utilization()) {
+		t.Fatal("U is NaN")
+	}
+	_ = packet.DefaultMTU
+}

@@ -1,0 +1,142 @@
+package host
+
+import (
+	"hpcc/internal/fabric"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// recvState is the per-flow receiver: cumulative reassembly plus the
+// NACK (go-back-N) or out-of-order buffer (IRN) machinery, and DCQCN's
+// CNP rate limiter.
+type recvState struct {
+	rcvNxt   int64
+	nackSent bool            // GBN: one NACK per out-of-sequence episode
+	ooo      map[int64]int32 // IRN: buffered out-of-order chunks
+	lastCNP  sim.Time
+	hasCNP   bool
+}
+
+// handleData runs the receiver side: reassemble, acknowledge, and
+// generate CNPs on ECN marks.
+func (h *Host) handleData(p *packet.Packet, in *fabric.Port) {
+	rs := h.recv[p.FlowID]
+	if rs == nil {
+		rs = &recvState{}
+		if h.cfg.FlowCtl == IRN {
+			rs.ooo = make(map[int64]int32)
+		}
+		h.recv[p.FlowID] = rs
+	}
+	now := h.eng.Now()
+
+	// DCQCN CNP generation: at most one per CNPInterval per flow.
+	if p.ECNCE && h.cfg.CNPInterval >= 0 {
+		if !rs.hasCNP || now-rs.lastCNP >= h.cfg.CNPInterval {
+			rs.hasCNP = true
+			rs.lastCNP = now
+			h.sendCtrl(in, p, packet.CNP, 0, 0)
+		}
+	}
+
+	switch h.cfg.FlowCtl {
+	case GoBackN:
+		switch {
+		case p.Seq == rs.rcvNxt:
+			rs.rcvNxt += int64(p.PayloadLen)
+			rs.nackSent = false
+			h.sendAck(in, p, rs.rcvNxt)
+			h.checkReadDone(p.FlowID, rs)
+		case p.Seq > rs.rcvNxt:
+			// Out of sequence: NACK once per episode, drop payload.
+			if !rs.nackSent {
+				rs.nackSent = true
+				h.sendCtrl(in, p, packet.Nack, rs.rcvNxt, p.Seq)
+			}
+		default:
+			// Duplicate of already-delivered data: re-ACK to resync.
+			h.sendAck(in, p, rs.rcvNxt)
+		}
+	case IRN:
+		switch {
+		case p.Seq == rs.rcvNxt:
+			rs.rcvNxt += int64(p.PayloadLen)
+			// Absorb any now-contiguous buffered chunks.
+			for {
+				l, ok := rs.ooo[rs.rcvNxt]
+				if !ok {
+					break
+				}
+				delete(rs.ooo, rs.rcvNxt)
+				rs.rcvNxt += int64(l)
+			}
+			h.sendAck(in, p, rs.rcvNxt)
+			h.checkReadDone(p.FlowID, rs)
+		case p.Seq > rs.rcvNxt:
+			if _, dup := rs.ooo[p.Seq]; !dup {
+				rs.ooo[p.Seq] = p.PayloadLen
+			}
+			// Selective ACK: cumulative position + the received seq.
+			h.sendAck(in, p, rs.rcvNxt)
+		default:
+			h.sendAck(in, p, rs.rcvNxt)
+		}
+	}
+}
+
+// checkReadDone fires a pending RDMA READ completion once the read's
+// response stream has fully arrived in order.
+func (h *Host) checkReadDone(flowID int32, rs *recvState) {
+	pr := h.reads[flowID]
+	if pr == nil || rs.rcvNxt < pr.size {
+		return
+	}
+	delete(h.reads, flowID)
+	if pr.onDone != nil {
+		pr.onDone()
+	}
+}
+
+// sendAck emits an ACK for data packet p, echoing its timestamp, ECN
+// mark and INT stack (§3.1: "the receiver copies all the meta-data
+// recorded by the switches to the ACK").
+func (h *Host) sendAck(via *fabric.Port, p *packet.Packet, cumSeq int64) {
+	size := int32(packet.AckBytes)
+	if h.cfg.INT {
+		size += packet.INTOverhead
+	}
+	pktID++
+	ack := &packet.Packet{
+		ID:      pktID,
+		Type:    packet.Ack,
+		FlowID:  p.FlowID,
+		Src:     p.Dst,
+		Dst:     p.Src,
+		Prio:    fabric.PrioCtrl,
+		Size:    size,
+		AckSeq:  cumSeq,
+		DataSeq: p.Seq,
+		EchoTS:  p.SendTS,
+		ECE:     p.ECNCE,
+		INT:     p.INT,
+	}
+	via.Enqueue(ack, -1)
+}
+
+// sendCtrl emits a NACK or CNP toward the sender of p.
+func (h *Host) sendCtrl(via *fabric.Port, p *packet.Packet, typ packet.Type, expSeq, gotSeq int64) {
+	pktID++
+	ctrl := &packet.Packet{
+		ID:      pktID,
+		Type:    typ,
+		FlowID:  p.FlowID,
+		Src:     p.Dst,
+		Dst:     p.Src,
+		Prio:    fabric.PrioCtrl,
+		Size:    packet.CtrlBytes,
+		AckSeq:  expSeq,
+		DataSeq: gotSeq,
+		EchoTS:  p.SendTS,
+	}
+	via.Enqueue(ctrl, -1)
+}

@@ -1,0 +1,163 @@
+// Package packet defines the simulated wire units: data packets, ACKs,
+// NACKs, CNPs and PFC frames, plus the in-band network telemetry (INT)
+// header that HPCC relies on (Figure 7 of the paper).
+//
+// Inside the simulator, packets carry INT records as structured fields at
+// full precision (the "decoding layer" style: no per-packet byte-slice
+// allocation). A separate bit-exact codec for the Figure-7 wire format
+// lives in codec.go and is used to validate that the quantized ASIC
+// representation round-trips; switches can optionally quantize their
+// stamps through it to emulate hardware precision.
+package packet
+
+import (
+	"fmt"
+
+	"hpcc/internal/sim"
+)
+
+// Type discriminates the simulated frame kinds.
+type Type uint8
+
+// Frame kinds.
+const (
+	Data Type = iota
+	Ack
+	Nack
+	CNP
+	PFC
+	// ReadReq is an RDMA READ request: the requester asks the
+	// responder to stream Seq bytes back (§4.2 — HPCC supports RDMA
+	// WRITE and READ; WRITE is the plain data flow).
+	ReadReq
+)
+
+func (t Type) String() string {
+	switch t {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case Nack:
+		return "NACK"
+	case CNP:
+		return "CNP"
+	case PFC:
+		return "PFC"
+	case ReadReq:
+		return "READ"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Wire-size constants, in bytes. A data packet is payload + HeaderBytes
+// (+ INTOverhead when INT is enabled, the paper's worst-case assumption
+// of 42 bytes for 5 hops, §5.1).
+const (
+	HeaderBytes  = 64 // Eth + IP + UDP + IB BTH + ICRC, rounded
+	AckBytes     = 64
+	CtrlBytes    = 64 // NACK / CNP / PFC frames
+	INTBaseBytes = 2  // nHop(4b) + pathID(12b)
+	INTHopBytes  = 8  // B(4b) TS(24b) txBytes(20b) qLen(16b)
+	// INTOverhead is the flat per-packet INT header tax used by the
+	// evaluation: 42 bytes covers 5 hops (§5.1 "worst-case assumption").
+	INTOverhead = INTBaseBytes + 5*INTHopBytes
+
+	// DefaultMTU is the data payload size used throughout the paper's
+	// evaluation ("1KB packet").
+	DefaultMTU = 1000
+)
+
+// MaxHops bounds the INT stack depth. Data-center paths are at most 5
+// hops (§4.1); 8 leaves room for experiments on deeper topologies.
+const MaxHops = 8
+
+// Hop is one switch egress-port INT record, stamped at dequeue.
+type Hop struct {
+	B       sim.Rate // egress link bandwidth
+	TS      sim.Time // timestamp when the packet left the egress port
+	TxBytes uint64   // cumulative bytes transmitted by the egress port
+	RxBytes uint64   // cumulative bytes received into the egress queue (for the rxRate ablation, §3.4)
+	QLen    int64    // egress queue length in bytes at dequeue
+}
+
+// INTHeader is the telemetry stack a data packet accumulates hop by hop
+// and the receiver echoes back in the ACK.
+type INTHeader struct {
+	NHops  int
+	PathID uint16 // XOR of 12-bit switch IDs along the path
+	Hops   [MaxHops]Hop
+}
+
+// Push appends a hop record and folds the switch ID into PathID,
+// mirroring what the P4 pipeline does per Figure 7.
+func (h *INTHeader) Push(hop Hop, switchID uint16) {
+	if h.NHops < MaxHops {
+		h.Hops[h.NHops] = hop
+	}
+	h.NHops++
+	h.PathID ^= switchID & 0x0fff
+}
+
+// Records returns the valid hop records.
+func (h *INTHeader) Records() []Hop {
+	n := h.NHops
+	if n > MaxHops {
+		n = MaxHops
+	}
+	return h.Hops[:n]
+}
+
+// Packet is a simulated frame. One struct covers every frame type; the
+// per-type fields are documented below. Packets are heap-allocated and
+// garbage-collected; the simulator never aliases a packet after handing
+// it to the next node.
+type Packet struct {
+	ID   uint64 // globally unique, for tracing
+	Type Type
+
+	FlowID   int32 // sender-assigned flow identifier
+	Src, Dst int32 // host node IDs (network-wide)
+	Prio     uint8 // priority queue index (0 = control, highest)
+	Size     int32 // total wire size, bytes
+
+	// Data packets.
+	Seq        int64 // byte offset of first payload byte
+	PayloadLen int32
+	ECNCE      bool     // congestion-experienced mark set by switches
+	SendTS     sim.Time // sender timestamp, echoed in the ACK for RTT
+	INT        INTHeader
+
+	// ACK / NACK packets.
+	AckSeq  int64    // cumulative ACK: next expected byte
+	DataSeq int64    // sequence of the data packet that triggered this ACK (IRN selective repeat)
+	EchoTS  sim.Time // echoed SendTS
+	ECE     bool     // ECN echo
+
+	// PFC frames.
+	PFCPrio  uint8
+	PFCPause bool // true = pause, false = resume
+}
+
+// String renders a short trace line for debugging.
+func (p *Packet) String() string {
+	switch p.Type {
+	case Data:
+		return fmt.Sprintf("DATA f%d seq=%d len=%d", p.FlowID, p.Seq, p.PayloadLen)
+	case Ack:
+		return fmt.Sprintf("ACK f%d cum=%d", p.FlowID, p.AckSeq)
+	case Nack:
+		return fmt.Sprintf("NACK f%d exp=%d", p.FlowID, p.AckSeq)
+	case CNP:
+		return fmt.Sprintf("CNP f%d", p.FlowID)
+	case PFC:
+		op := "RESUME"
+		if p.PFCPause {
+			op = "PAUSE"
+		}
+		return fmt.Sprintf("PFC %s prio=%d", op, p.PFCPrio)
+	default:
+		return p.Type.String()
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import "container/heap"
+
+// Event is a handle to a scheduled callback. It can be cancelled with
+// Engine.Cancel as long as it has not fired yet.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// At reports when the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (time, seq). The seq
+// tie-break makes execution order deterministic for simultaneous events:
+// first scheduled, first fired.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the whole simulated world runs on one goroutine,
+// which is what makes runs deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	pool    []*Event // freelist for fired events
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: that is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool = e.pool[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	e.pool = append(e.pool, ev)
+}
+
+// Step fires the earliest pending event and returns true, or returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.pool = append(e.pool, ev)
+	e.fired++
+	fn()
+	return true
+}
+
+// Run fires events until the queue empties or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. Callable from inside event callbacks.
+func (e *Engine) Stop() { e.stopped = true }

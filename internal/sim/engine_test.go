@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*Nanosecond, func() { got = append(got, 3) })
+	e.At(10*Nanosecond, func() { got = append(got, 1) })
+	e.At(20*Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.After(Microsecond, tick)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 10*Microsecond {
+		t.Fatalf("Now = %v, want 10us", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(Microsecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i)*Microsecond, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[13])
+	e.Run()
+	if len(got) != 18 {
+		t.Fatalf("fired %d events, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.At(Time(i)*Millisecond, func() { got = append(got, i) })
+	}
+	e.RunUntil(3 * Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events by 3ms, want 3", len(got))
+	}
+	if e.Now() != 3*Millisecond {
+		t.Fatalf("Now = %v, want 3ms", e.Now())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(got))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i)*Microsecond, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 (Stop should halt the loop)", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(Millisecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Microsecond, func() {})
+}
+
+// Property: for any set of random timestamps, the engine fires them in
+// nondecreasing time order and ends with the clock at the max timestamp.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		if len(stamps) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s) * Nanosecond
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]Time, len(stamps))
+		for i, s := range stamps {
+			want[i] = Time(s) * Nanosecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never fires the cancelled events
+// and always fires exactly the rest.
+func TestEngineCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n%64) + 1
+		firedSet := make(map[int]bool)
+		evs := make([]*Event, total)
+		for i := 0; i < total; i++ {
+			i := i
+			evs[i] = e.At(Time(rng.Intn(1000))*Nanosecond, func() { firedSet[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < total; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < total; i++ {
+			if cancelled[i] && firedSet[i] {
+				return false
+			}
+			if !cancelled[i] && !firedSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateExactness(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want Time
+	}{
+		{400 * Gbps, 20 * Picosecond},
+		{100 * Gbps, 80 * Picosecond},
+		{40 * Gbps, 200 * Picosecond},
+		{25 * Gbps, 320 * Picosecond},
+		{10 * Gbps, 800 * Picosecond},
+		{Gbps, 8 * Nanosecond},
+	}
+	for _, c := range cases {
+		if got := c.r.PsPerByte(); got != c.want {
+			t.Errorf("PsPerByte(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+	// A 1000-byte packet at 100 Gbps takes exactly 80 ns.
+	if got := (100 * Gbps).TxTime(1000); got != 80*Nanosecond {
+		t.Errorf("TxTime(1000 @100G) = %v, want 80ns", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{80 * Nanosecond, "80ns"},
+		{12500 * Nanosecond, "12.5us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-5 * Microsecond, "-5us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := (100 * Gbps).String(); got != "100Gbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := (40 * Mbps).String(); got != "40Mbps" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNewRNGDeterminism(t *testing.T) {
+	a := NewRNG(1, "hosts")
+	b := NewRNG(1, "hosts")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed+tag produced different streams")
+		}
+	}
+	c := NewRNG(1, "switches")
+	d := NewRNG(2, "hosts")
+	if a.Uint64() == c.Uint64() && a.Uint64() == d.Uint64() {
+		t.Fatal("distinct tags/seeds produced identical streams (suspicious)")
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Nanosecond, func() {})
+		e.Step()
+	}
+}

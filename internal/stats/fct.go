@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// FCTRecord is one completed flow's timing.
+type FCTRecord struct {
+	Size  int64
+	FCT   sim.Time
+	Ideal sim.Time
+}
+
+// Slowdown is the flow's FCT normalized by its ideal FCT on an empty
+// network (paper footnote 1).
+func (r FCTRecord) Slowdown() float64 {
+	if r.Ideal <= 0 {
+		return 1
+	}
+	s := float64(r.FCT) / float64(r.Ideal)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// IdealFCT returns a flow's FCT on an idle network: per-packet wire
+// bytes serialized at the NIC line rate plus one base propagation RTT.
+// intHeader adds the 42-byte INT tax when the scheme carries telemetry.
+func IdealFCT(size int64, rate sim.Rate, baseRTT sim.Time, mtu int, intHeader bool) sim.Time {
+	if size <= 0 {
+		return baseRTT
+	}
+	pkts := (size + int64(mtu) - 1) / int64(mtu)
+	overhead := int64(packet.HeaderBytes)
+	if intHeader {
+		overhead += packet.INTOverhead
+	}
+	wire := size + pkts*overhead
+	return rate.TxTime(int(wire)) + baseRTT
+}
+
+// FCTSet accumulates completed flows.
+type FCTSet struct {
+	Records []FCTRecord
+}
+
+// Add appends one record.
+func (s *FCTSet) Add(r FCTRecord) { s.Records = append(s.Records, r) }
+
+// Slowdowns returns every record's slowdown.
+func (s *FCTSet) Slowdowns() []float64 {
+	out := make([]float64, len(s.Records))
+	for i, r := range s.Records {
+		out[i] = r.Slowdown()
+	}
+	return out
+}
+
+// BucketRow is one flow-size bucket's slowdown statistics — one x-axis
+// position of the paper's FCT figures.
+type BucketRow struct {
+	// (Lo, Hi] bounds the bucket by flow size in bytes.
+	Lo, Hi int64
+	Stats  Summary
+}
+
+// Buckets groups records into the given size-bucket edges (the figure's
+// x-axis labels; edge i bounds bucket i as (edge[i-1], edge[i]], with
+// the first bucket anchored at 0) and summarizes slowdowns per bucket.
+func (s *FCTSet) Buckets(edges []int64) []BucketRow {
+	rows := make([]BucketRow, len(edges))
+	vals := make([][]float64, len(edges))
+	for i := range rows {
+		lo := int64(0)
+		if i > 0 {
+			lo = edges[i-1]
+		}
+		rows[i] = BucketRow{Lo: lo, Hi: edges[i]}
+	}
+	for _, r := range s.Records {
+		for i := range edges {
+			lo := int64(0)
+			if i > 0 {
+				lo = edges[i-1]
+			}
+			if r.Size > lo && r.Size <= edges[i] {
+				vals[i] = append(vals[i], r.Slowdown())
+				break
+			}
+		}
+	}
+	for i := range rows {
+		rows[i].Stats = Summarize(vals[i])
+	}
+	return rows
+}
+
+// WebSearchEdges are Figure 10's x-axis flow-size buckets.
+func WebSearchEdges() []int64 {
+	return []int64{6_700, 20_000, 30_000, 50_000, 73_000, 200_000, 1_000_000, 2_000_000, 5_000_000, 30_000_000}
+}
+
+// FBHadoopEdges are Figure 11's x-axis flow-size buckets.
+func FBHadoopEdges() []int64 {
+	return []int64{324, 400, 500, 600, 700, 1_000, 7_000, 46_000, 120_000, 10_000_000}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"hpcc/internal/fabric"
+	"hpcc/internal/sim"
+)
+
+// QueueMonitor samples egress queue depths of a set of ports at a fixed
+// interval, building the queue-length distributions of Figures 9f/10b/
+// 10d and the time series of Figures 9a–d/13b.
+type QueueMonitor struct {
+	eng      *sim.Engine
+	ports    []*fabric.Port
+	prio     uint8
+	interval sim.Time
+	until    sim.Time
+
+	// Samples holds every per-port observation (bytes), pooled.
+	Samples []float64
+	// Series records (time, total bytes across ports) pairs.
+	Series []TimePoint
+}
+
+// TimePoint is one time-series observation.
+type TimePoint struct {
+	T sim.Time
+	V float64
+}
+
+// NewQueueMonitor starts sampling immediately; it stops after until.
+func NewQueueMonitor(eng *sim.Engine, ports []*fabric.Port, prio uint8, interval, until sim.Time) *QueueMonitor {
+	m := &QueueMonitor{eng: eng, ports: ports, prio: prio, interval: interval, until: until}
+	eng.After(interval, m.tick)
+	return m
+}
+
+// Stop ends sampling at the next tick.
+func (m *QueueMonitor) Stop() { m.until = -1 }
+
+func (m *QueueMonitor) tick() {
+	now := m.eng.Now()
+	if now > m.until {
+		return
+	}
+	total := 0.0
+	for _, p := range m.ports {
+		q := float64(p.QueueBytes(m.prio))
+		m.Samples = append(m.Samples, q)
+		total += q
+	}
+	m.Series = append(m.Series, TimePoint{now, total})
+	m.eng.After(m.interval, m.tick)
+}
+
+// Throughput tracks per-flow goodput in fixed time bins, producing the
+// rate curves of Figures 9a/9c/9g/13a.
+type Throughput struct {
+	bin   sim.Time
+	bytes map[int]map[int64]int64 // flow tag -> bin index -> bytes
+}
+
+// NewThroughput creates a tracker with the given bin width.
+func NewThroughput(bin sim.Time) *Throughput {
+	return &Throughput{bin: bin, bytes: make(map[int]map[int64]int64)}
+}
+
+// Record adds n acknowledged bytes for flow tag at time t.
+func (tp *Throughput) Record(tag int, t sim.Time, n int64) {
+	m := tp.bytes[tag]
+	if m == nil {
+		m = make(map[int64]int64)
+		tp.bytes[tag] = m
+	}
+	m[int64(t/tp.bin)] += n
+}
+
+// Series returns flow tag's goodput in Gbps per bin over [0, until].
+func (tp *Throughput) Series(tag int, until sim.Time) []TimePoint {
+	m := tp.bytes[tag]
+	nBins := int64(until / tp.bin)
+	out := make([]TimePoint, 0, nBins)
+	for b := int64(0); b < nBins; b++ {
+		gbps := float64(m[b]) * 8 / tp.bin.Seconds() / 1e9
+		out = append(out, TimePoint{sim.Time(b) * tp.bin, gbps})
+	}
+	return out
+}
+
+// Rate returns flow tag's average goodput in Gbps over [from, to).
+func (tp *Throughput) Rate(tag int, from, to sim.Time) float64 {
+	m := tp.bytes[tag]
+	var total int64
+	for b := int64(from / tp.bin); b < int64(to/tp.bin); b++ {
+		total += m[b]
+	}
+	dur := (to - from).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(total) * 8 / dur / 1e9
+}
+
+// PFCPauseFraction sums pause time across all ports of the switches and
+// normalizes by (elapsed × ports): the "fraction of pause time" metric
+// of Figure 11b/11d.
+func PFCPauseFraction(switches []*fabric.Switch, prio uint8, elapsed sim.Time) float64 {
+	var total sim.Time
+	ports := 0
+	for _, sw := range switches {
+		for _, p := range sw.Ports() {
+			total += p.PausedFor(prio)
+			ports++
+		}
+	}
+	if ports == 0 || elapsed <= 0 {
+		return 0
+	}
+	return float64(total) / (float64(elapsed) * float64(ports))
+}

@@ -1,0 +1,81 @@
+// Package stats computes the metrics the paper reports: FCT slowdown
+// percentiles per flow-size bucket (Figures 2, 3, 10, 11, 12), switch
+// queue-length CDFs (Figures 9, 10), PFC pause-time fractions (Figures
+// 2b, 11b/d), throughput time series (Figures 9, 13) and Jain's
+// fairness index (Figure 14).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0–100) of xs by linear
+// interpolation between closest ranks. xs need not be sorted; it is
+// copied, not mutated. Returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary bundles the order statistics the paper quotes.
+type Summary struct {
+	N                  int
+	Mean               float64
+	P50, P95, P99, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:    len(s),
+		Mean: sum / float64(len(s)),
+		P50:  percentileSorted(s, 50),
+		P95:  percentileSorted(s, 95),
+		P99:  percentileSorted(s, 99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// Jain returns Jain's fairness index (Σx)²/(n·Σx²) ∈ [1/n, 1];
+// 1 is perfectly fair. Returns NaN for empty input.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

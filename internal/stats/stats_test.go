@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hpcc/internal/sim"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element p99 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev || v < sorted[0]-1e-9 || v > sorted[len(sorted)-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.N != 4 || s.Mean != 5 || s.Max != 8 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	// One user hogs everything: index = 1/n.
+	if got := Jain([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly: %v, want 0.25", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero: %v, want 1 by convention", got)
+	}
+}
+
+// Property: Jain ∈ [1/n, 1] for nonnegative inputs.
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = rng.Float64() * 50
+		}
+		j := Jain(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdealFCT(t *testing.T) {
+	// 1000 B in one packet at 100G, no INT: 1064 wire bytes = 85.12 ns,
+	// plus 10 µs RTT.
+	got := IdealFCT(1000, 100*sim.Gbps, 10*sim.Microsecond, 1000, false)
+	want := (100 * sim.Gbps).TxTime(1064) + 10*sim.Microsecond
+	if got != want {
+		t.Errorf("IdealFCT = %v, want %v", got, want)
+	}
+	// INT adds 42 B per packet.
+	gotINT := IdealFCT(1000, 100*sim.Gbps, 10*sim.Microsecond, 1000, true)
+	if gotINT <= got {
+		t.Error("INT overhead did not increase ideal FCT")
+	}
+	// 2500 B = 3 packets.
+	got3 := IdealFCT(2500, 100*sim.Gbps, 0, 1000, false)
+	if got3 != (100 * sim.Gbps).TxTime(2500+3*64) {
+		t.Errorf("3-packet ideal = %v", got3)
+	}
+}
+
+func TestSlowdownFloorsAtOne(t *testing.T) {
+	r := FCTRecord{Size: 1000, FCT: 5 * sim.Microsecond, Ideal: 10 * sim.Microsecond}
+	if r.Slowdown() != 1 {
+		t.Errorf("slowdown = %v, want floor at 1", r.Slowdown())
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	var set FCTSet
+	// Two flows in the first bucket (≤100), one in the second (≤1000).
+	set.Add(FCTRecord{Size: 50, FCT: 20, Ideal: 10})
+	set.Add(FCTRecord{Size: 100, FCT: 40, Ideal: 10})
+	set.Add(FCTRecord{Size: 500, FCT: 30, Ideal: 10})
+	set.Add(FCTRecord{Size: 5000, FCT: 30, Ideal: 10}) // beyond all edges: dropped
+	rows := set.Buckets([]int64{100, 1000})
+	if rows[0].Stats.N != 2 || rows[1].Stats.N != 1 {
+		t.Fatalf("bucket counts = %d, %d", rows[0].Stats.N, rows[1].Stats.N)
+	}
+	if rows[0].Stats.Max != 4 {
+		t.Errorf("bucket 0 max slowdown = %v, want 4", rows[0].Stats.Max)
+	}
+	if rows[0].Lo != 0 || rows[0].Hi != 100 || rows[1].Lo != 100 {
+		t.Errorf("bucket bounds: %+v", rows[:2])
+	}
+}
+
+func TestBucketEdgesMatchPaper(t *testing.T) {
+	ws := WebSearchEdges()
+	if len(ws) != 10 || ws[0] != 6_700 || ws[len(ws)-1] != 30_000_000 {
+		t.Errorf("WebSearch edges = %v", ws)
+	}
+	fb := FBHadoopEdges()
+	if len(fb) != 10 || fb[0] != 324 || fb[len(fb)-1] != 10_000_000 {
+		t.Errorf("FBHadoop edges = %v", fb)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	tp := NewThroughput(100 * sim.Microsecond)
+	// 1.25 MB in bin 0 → 100 Gbps; nothing in bin 1; 625 KB in bin 2 → 50 Gbps.
+	tp.Record(1, 50*sim.Microsecond, 1_250_000)
+	tp.Record(1, 250*sim.Microsecond, 625_000)
+	s := tp.Series(1, 300*sim.Microsecond)
+	if len(s) != 3 {
+		t.Fatalf("series len = %d", len(s))
+	}
+	if math.Abs(s[0].V-100) > 0.01 || s[1].V != 0 || math.Abs(s[2].V-50) > 0.01 {
+		t.Fatalf("series = %v", s)
+	}
+	if got := tp.Rate(1, 0, 300*sim.Microsecond); math.Abs(got-50) > 0.01 {
+		t.Fatalf("avg rate = %v, want 50", got)
+	}
+}

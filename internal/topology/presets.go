@@ -1,0 +1,191 @@
+package topology
+
+import (
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+)
+
+// Star wires n hosts to one switch — the fixture for the incast and
+// design-choice micro-benchmarks (§5.4 uses 16+1 hosts on 100 Gbps links
+// with 1 µs propagation delay).
+func Star(eng *sim.Engine, n int, hostRate sim.Rate, delay sim.Time, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	b := NewBuilder(eng, hcfg, scfg)
+	sw := b.AddSwitch()
+	for i := 0; i < n; i++ {
+		h := b.AddHost()
+		b.Link(h, sw, hostRate, delay)
+	}
+	return b.Build()
+}
+
+// Dumbbell wires nPairs sender hosts and nPairs receiver hosts across
+// two switches joined by a single bottleneck link.
+func Dumbbell(eng *sim.Engine, nPairs int, hostRate, coreRate sim.Rate, delay sim.Time, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	b := NewBuilder(eng, hcfg, scfg)
+	left := b.AddSwitch()
+	right := b.AddSwitch()
+	b.Link(left, right, coreRate, delay)
+	for i := 0; i < nPairs; i++ {
+		h := b.AddHost()
+		b.Link(h, left, hostRate, delay)
+	}
+	for i := 0; i < nPairs; i++ {
+		h := b.AddHost()
+		b.Link(h, right, hostRate, delay)
+	}
+	return b.Build()
+}
+
+// PodSpec describes the paper's 32-server testbed PoD (§5.1): four ToRs
+// under one Agg, with each server dual-homed to a ToR pair.
+type PodSpec struct {
+	// Servers is the total server count; must be even. Default 32.
+	Servers int
+	// HostRate is each NIC uplink speed. Default 25 Gbps.
+	HostRate sim.Rate
+	// FabricRate is the ToR–Agg link speed. Default 100 Gbps.
+	FabricRate sim.Rate
+	// LinkDelay is the per-link propagation delay. Default 600 ns,
+	// which lands the base RTTs near the testbed's 5.4 µs intra-rack /
+	// 8.5 µs cross-rack figures.
+	LinkDelay sim.Time
+}
+
+func (s *PodSpec) normalize() {
+	if s.Servers == 0 {
+		s.Servers = 32
+	}
+	if s.HostRate == 0 {
+		s.HostRate = 25 * sim.Gbps
+	}
+	if s.FabricRate == 0 {
+		s.FabricRate = 100 * sim.Gbps
+	}
+	if s.LinkDelay == 0 {
+		s.LinkDelay = 600 * sim.Nanosecond
+	}
+}
+
+// Pod builds the testbed PoD: ToR1+ToR2 serve the first half of the
+// servers (each server dual-homed to both), ToR3+ToR4 the second half,
+// and all four ToRs uplink to one Agg switch.
+func Pod(eng *sim.Engine, spec PodSpec, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	spec.normalize()
+	b := NewBuilder(eng, hcfg, scfg)
+	agg := b.AddSwitch()
+	tors := make([]*fabric.Switch, 4)
+	for i := range tors {
+		tors[i] = b.AddSwitch()
+		b.Link(tors[i], agg, spec.FabricRate, spec.LinkDelay)
+	}
+	half := spec.Servers / 2
+	for i := 0; i < spec.Servers; i++ {
+		h := b.AddHost()
+		pair := 0
+		if i >= half {
+			pair = 2
+		}
+		b.Link(h, tors[pair], spec.HostRate, spec.LinkDelay)
+		b.Link(h, tors[pair+1], spec.HostRate, spec.LinkDelay)
+	}
+	return b.Build()
+}
+
+// ParkingLot builds the classic multi-bottleneck chain used to study
+// §3.2's multiple-bottleneck behaviour and Appendix A's rate recursion:
+// segments+1 switches in a line, a "long" host pair at the two ends
+// whose flow crosses every inter-switch link, and one local host pair
+// per segment whose flow crosses only that segment.
+//
+// Host layout: host 0 = long sender, host 1 = long receiver, then for
+// segment i (0-based): host 2+2i = local sender (at switch i), host
+// 3+2i = local receiver (at switch i+1).
+func ParkingLot(eng *sim.Engine, segments int, hostRate, coreRate sim.Rate, delay sim.Time, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	b := NewBuilder(eng, hcfg, scfg)
+	switches := make([]*fabric.Switch, segments+1)
+	for i := range switches {
+		switches[i] = b.AddSwitch()
+		if i > 0 {
+			b.Link(switches[i-1], switches[i], coreRate, delay)
+		}
+	}
+	longSrc := b.AddHost()
+	b.Link(longSrc, switches[0], hostRate, delay)
+	longDst := b.AddHost()
+	b.Link(longDst, switches[segments], hostRate, delay)
+	for i := 0; i < segments; i++ {
+		s := b.AddHost()
+		b.Link(s, switches[i], hostRate, delay)
+		r := b.AddHost()
+		b.Link(r, switches[i+1], hostRate, delay)
+	}
+	return b.Build()
+}
+
+// FatTreeSpec describes the simulation topology of §5.1: a three-tier
+// Clos with 16 Core and 20 Agg switches over 20 ToRs of 16 servers each
+// (320 hosts), 100 Gbps at the host and 400 Gbps between switches, 1 µs
+// link delay (12 µs max base RTT). The counts scale down for CI runs.
+type FatTreeSpec struct {
+	Cores, Aggs, ToRs, HostsPerToR int
+	HostRate, FabricRate           sim.Rate
+	LinkDelay                      sim.Time
+}
+
+// PaperFatTree returns the full-scale spec from §5.1.
+func PaperFatTree() FatTreeSpec {
+	return FatTreeSpec{
+		Cores: 16, Aggs: 20, ToRs: 20, HostsPerToR: 16,
+		HostRate: 100 * sim.Gbps, FabricRate: 400 * sim.Gbps,
+		LinkDelay: sim.Microsecond,
+	}
+}
+
+// ScaledFatTree returns a CI-sized FatTree preserving the paper's
+// oversubscription shape (same tiers, fewer elements).
+func ScaledFatTree() FatTreeSpec {
+	return FatTreeSpec{
+		Cores: 2, Aggs: 4, ToRs: 4, HostsPerToR: 8,
+		HostRate: 100 * sim.Gbps, FabricRate: 400 * sim.Gbps,
+		LinkDelay: sim.Microsecond,
+	}
+}
+
+func (s *FatTreeSpec) normalize() {
+	if s.Cores == 0 {
+		*s = PaperFatTree()
+	}
+}
+
+// NumHosts returns the host count of the spec.
+func (s FatTreeSpec) NumHosts() int { return s.ToRs * s.HostsPerToR }
+
+// FatTree builds the Clos: every ToR links to every Agg, every Agg to
+// every Core, hosts under their ToR.
+func FatTree(eng *sim.Engine, spec FatTreeSpec, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	spec.normalize()
+	b := NewBuilder(eng, hcfg, scfg)
+	cores := make([]*fabric.Switch, spec.Cores)
+	for i := range cores {
+		cores[i] = b.AddSwitch()
+	}
+	aggs := make([]*fabric.Switch, spec.Aggs)
+	for i := range aggs {
+		aggs[i] = b.AddSwitch()
+		for _, c := range cores {
+			b.Link(aggs[i], c, spec.FabricRate, spec.LinkDelay)
+		}
+	}
+	for t := 0; t < spec.ToRs; t++ {
+		tor := b.AddSwitch()
+		for _, a := range aggs {
+			b.Link(tor, a, spec.FabricRate, spec.LinkDelay)
+		}
+		for j := 0; j < spec.HostsPerToR; j++ {
+			h := b.AddHost()
+			b.Link(h, tor, spec.HostRate, spec.LinkDelay)
+		}
+	}
+	return b.Build()
+}

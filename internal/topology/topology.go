@@ -1,0 +1,190 @@
+// Package topology builds the networks the HPCC paper evaluates on: the
+// 32-server dual-homed testbed PoD, the 320-server FatTree used in the
+// ns-3 simulations, and the small star / dumbbell fixtures used by the
+// micro-benchmarks — all with BFS shortest-path ECMP routing.
+package topology
+
+import (
+	"fmt"
+
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+)
+
+// Network is a built topology ready to carry flows.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*host.Host
+	Switches []*fabric.Switch
+
+	nextFlow int32
+	hostIdx  map[fabric.NodeID]int
+}
+
+// StartFlow launches a flow of size bytes from host index src to host
+// index dst, assigning a network-unique flow ID. Multi-homed hosts pin
+// the flow to an uplink by flow-ID hash (as the testbed's dual-homed
+// servers do). onDone may be nil.
+func (n *Network) StartFlow(src, dst int, size int64, onDone func(*host.Flow)) *host.Flow {
+	n.nextFlow++
+	h := n.Hosts[src]
+	port := 0
+	if np := len(h.Ports()); np > 1 {
+		port = int(uint32(n.nextFlow) * 2654435761 % uint32(np))
+	}
+	return h.StartFlow(n.nextFlow, n.Hosts[dst].ID(), size, port, onDone)
+}
+
+// HostIndex maps a node ID back to the host's index in Hosts.
+func (n *Network) HostIndex(id fabric.NodeID) int { return n.hostIdx[id] }
+
+// SwitchPorts enumerates every switch egress port in the network
+// (for queue monitoring).
+func (n *Network) SwitchPorts() []*fabric.Port {
+	var ports []*fabric.Port
+	for _, sw := range n.Switches {
+		ports = append(ports, sw.Ports()...)
+	}
+	return ports
+}
+
+// EdgePorts enumerates switch egress ports facing hosts — where
+// many-to-one congestion concentrates and the paper's queue statistics
+// are taken.
+func (n *Network) EdgePorts() []*fabric.Port {
+	var ports []*fabric.Port
+	for _, sw := range n.Switches {
+		for _, p := range sw.Ports() {
+			if _, isHost := n.hostIdx[p.Peer().ID()]; isHost {
+				ports = append(ports, p)
+			}
+		}
+	}
+	return ports
+}
+
+// TotalDrops sums packet drops across all switches.
+func (n *Network) TotalDrops() uint64 {
+	var d uint64
+	for _, sw := range n.Switches {
+		d += sw.Drops()
+	}
+	return d
+}
+
+// Builder accumulates nodes and links, then computes routing.
+type Builder struct {
+	eng    *sim.Engine
+	hcfg   host.Config
+	scfg   fabric.SwitchConfig
+	nextID fabric.NodeID
+
+	hosts    []*host.Host
+	switches []*fabric.Switch
+	// adjacency: node -> list of (peer, local port index)
+	adj map[fabric.NodeID][]edge
+}
+
+type edge struct {
+	peer fabric.NodeID
+	port int
+}
+
+// NewBuilder starts a topology with shared host and switch configs.
+func NewBuilder(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Builder {
+	return &Builder{eng: eng, hcfg: hcfg, scfg: scfg, adj: make(map[fabric.NodeID][]edge)}
+}
+
+// AddHost creates a host node.
+func (b *Builder) AddHost() *host.Host {
+	h := host.New(b.eng, b.nextID, b.hcfg)
+	b.nextID++
+	b.hosts = append(b.hosts, h)
+	return h
+}
+
+// AddSwitch creates a switch node.
+func (b *Builder) AddSwitch() *fabric.Switch {
+	cfg := b.scfg
+	cfg.Seed ^= int64(b.nextID) // decorrelate WRED streams
+	s := fabric.NewSwitch(b.eng, b.nextID, cfg)
+	b.nextID++
+	b.switches = append(b.switches, s)
+	return s
+}
+
+// Link wires a full-duplex link between two nodes (host or switch).
+func (b *Builder) Link(x, y fabric.Node, rate sim.Rate, delay sim.Time) {
+	xi, yi := b.portCount(x), b.portCount(y)
+	px, py := fabric.Connect(b.eng, x, y, xi, yi, rate, delay)
+	b.attach(x, px)
+	b.attach(y, py)
+	b.adj[x.ID()] = append(b.adj[x.ID()], edge{y.ID(), xi})
+	b.adj[y.ID()] = append(b.adj[y.ID()], edge{x.ID(), yi})
+}
+
+func (b *Builder) portCount(n fabric.Node) int {
+	switch v := n.(type) {
+	case *host.Host:
+		return len(v.Ports())
+	case *fabric.Switch:
+		return len(v.Ports())
+	default:
+		panic(fmt.Sprintf("topology: unknown node type %T", n))
+	}
+}
+
+func (b *Builder) attach(n fabric.Node, p *fabric.Port) {
+	switch v := n.(type) {
+	case *host.Host:
+		v.AttachPort(p)
+	case *fabric.Switch:
+		v.AttachPort(p)
+	}
+}
+
+// Build computes shortest-path ECMP routes from every switch to every
+// host and returns the finished network.
+func (b *Builder) Build() *Network {
+	// BFS from each destination host over the undirected graph.
+	for _, dst := range b.hosts {
+		dist := map[fabric.NodeID]int{dst.ID(): 0}
+		queue := []fabric.NodeID{dst.ID()}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range b.adj[cur] {
+				if _, seen := dist[e.peer]; !seen {
+					dist[e.peer] = dist[cur] + 1
+					queue = append(queue, e.peer)
+				}
+			}
+		}
+		for _, sw := range b.switches {
+			d, reach := dist[sw.ID()]
+			if !reach {
+				continue
+			}
+			var ports []int
+			for _, e := range b.adj[sw.ID()] {
+				if pd, ok := dist[e.peer]; ok && pd == d-1 {
+					ports = append(ports, e.port)
+				}
+			}
+			if len(ports) > 0 {
+				sw.InstallRoute(dst.ID(), ports)
+			}
+		}
+	}
+	n := &Network{
+		Eng:      b.eng,
+		Hosts:    b.hosts,
+		Switches: b.switches,
+		hostIdx:  make(map[fabric.NodeID]int, len(b.hosts)),
+	}
+	for i, h := range b.hosts {
+		n.hostIdx[h.ID()] = i
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+)
+
+// PoissonSpec drives an open-loop flow arrival process: flows between
+// uniform-random host pairs, sizes from a CDF, exponential inter-
+// arrivals tuned so the average host uplink carries Load of its
+// capacity — the standard harness the paper uses at 30% and 50% load.
+type PoissonSpec struct {
+	CDF  *CDF
+	Load float64 // target average link load, e.g. 0.3
+	// HostRate is the NIC speed used to derive the arrival rate.
+	HostRate sim.Rate
+	// Until stops new arrivals at this time (flows in flight drain).
+	Until sim.Time
+	// MaxFlows caps total arrivals (0 = unlimited) to bound runtimes.
+	MaxFlows int
+	// OnDone observes each completed flow.
+	OnDone func(*host.Flow)
+	// Seed makes the arrival sequence deterministic.
+	Seed int64
+}
+
+// StartPoisson installs the generator on a network. Arrival rate:
+// λ = Load × N_hosts × HostRate / E[size] (in flows/sec), matching the
+// convention of the paper's public simulator.
+func StartPoisson(nw *topology.Network, spec PoissonSpec) {
+	rng := sim.NewRNG(spec.Seed, "poisson")
+	n := len(nw.Hosts)
+	bytesPerSec := spec.Load * float64(n) * spec.HostRate.BytesPerSec()
+	lambda := bytesPerSec / spec.CDF.Mean() // flows per second
+	if lambda <= 0 {
+		return
+	}
+	meanGapPs := float64(sim.Second) / lambda
+	started := 0
+	var arrive func()
+	arrive = func() {
+		if spec.MaxFlows > 0 && started >= spec.MaxFlows {
+			return
+		}
+		if nw.Eng.Now() > spec.Until {
+			return
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		size := spec.CDF.Sample(rng)
+		nw.StartFlow(src, dst, size, spec.OnDone)
+		started++
+		gap := sim.Time(rng.ExpFloat64() * meanGapPs)
+		nw.Eng.After(gap, arrive)
+	}
+	nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+}
+
+// IncastSpec schedules periodic fan-in events: FanIn random senders
+// each ship Size bytes to one random receiver. The period is derived so
+// incast traffic totals LoadFrac of the aggregate host capacity — the
+// paper's setup is 60-to-1 × 500 KB at 2% load (§5.3).
+type IncastSpec struct {
+	FanIn    int
+	Size     int64
+	LoadFrac float64
+	HostRate sim.Rate
+	Until    sim.Time
+	OnDone   func(*host.Flow)
+	Seed     int64
+}
+
+// StartIncast installs the incast generator on a network.
+func StartIncast(nw *topology.Network, spec IncastSpec) {
+	rng := sim.NewRNG(spec.Seed, "incast")
+	n := len(nw.Hosts)
+	if spec.FanIn >= n {
+		spec.FanIn = n - 1
+	}
+	eventBytes := float64(spec.FanIn) * float64(spec.Size)
+	capacityBps := float64(n) * spec.HostRate.BytesPerSec()
+	period := sim.Time(eventBytes / (capacityBps * spec.LoadFrac) * float64(sim.Second))
+	var fire func()
+	fire = func() {
+		if nw.Eng.Now() > spec.Until {
+			return
+		}
+		recv := rng.Intn(n)
+		senders := rng.Perm(n)
+		cnt := 0
+		for _, s := range senders {
+			if s == recv {
+				continue
+			}
+			nw.StartFlow(s, recv, spec.Size, spec.OnDone)
+			cnt++
+			if cnt == spec.FanIn {
+				break
+			}
+		}
+		nw.Eng.After(period, fire)
+	}
+	nw.Eng.After(period/2, fire)
+}

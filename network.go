@@ -1,0 +1,280 @@
+package hpcc
+
+import (
+	"fmt"
+	"time"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+)
+
+// SchemeNames lists the congestion-control schemes this library
+// implements, in the paper's Figure-11 order plus the HPCC ablation
+// variants.
+func SchemeNames() []string {
+	return []string{
+		"hpcc", "dcqcn", "timely", "dcqcn+win", "timely+win", "dctcp",
+		"hpcc-rxrate", "hpcc-perack", "hpcc-perrtt",
+	}
+}
+
+// NetConfig describes a simulated fabric for flow-level experiments.
+type NetConfig struct {
+	// Scheme is the congestion control to run (see SchemeNames).
+	Scheme string
+	// Topology: "star" (Hosts around one switch), "pod" (the paper's
+	// 32-server dual-homed testbed), "fattree" (three-tier Clos), or
+	// "parkinglot" (multi-bottleneck chain; Hosts counts the segments,
+	// see topology.ParkingLot for the host layout).
+	Topology string
+	// Hosts is the host count for "star" (default 17, the §5.4
+	// fixture) or the segment count for "parkinglot" (default 2).
+	Hosts int
+	// LinkRateGbps is the NIC speed for "star" (default 100).
+	LinkRateGbps int
+	// PaperScale builds the full 320-host FatTree instead of the
+	// CI-sized one.
+	PaperScale bool
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+// Network is a running simulated fabric accepting explicit flows — the
+// micro-benchmark surface of the library.
+type Network struct {
+	eng     *sim.Engine
+	nw      *topology.Network
+	scheme  experiment.Scheme
+	rate    sim.Rate
+	rtt     sim.Time
+	readSeq int32 // READ flow IDs run negative to avoid workload collisions
+}
+
+// Flow is a handle to one transfer on a Network.
+type Flow struct {
+	inner *host.Flow
+	net   *Network
+}
+
+// NewNetwork builds a fabric per cfg. PFC is enabled (lossless), as on
+// the paper's testbed.
+func NewNetwork(cfg NetConfig) (*Network, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "hpcc"
+	}
+	scheme, err := experiment.ByName(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 17
+	}
+	if cfg.LinkRateGbps == 0 {
+		cfg.LinkRateGbps = 100
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng := sim.NewEngine()
+	rateOf := sim.Rate(cfg.LinkRateGbps) * sim.Gbps
+
+	var (
+		rate    sim.Rate
+		baseRTT sim.Time
+		build   func(host.Config, fabric.SwitchConfig) *topology.Network
+	)
+	switch cfg.Topology {
+	case "", "star":
+		topo := experiment.Topo{Kind: "star", N: cfg.Hosts, HostRate: rateOf, Delay: sim.Microsecond}
+		rate, baseRTT = topo.Rate(), topo.BaseRTT()
+		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
+	case "pod":
+		topo := experiment.PodTopo(topology.PodSpec{})
+		rate, baseRTT = topo.Rate(), topo.BaseRTT()
+		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
+	case "fattree":
+		spec := topology.ScaledFatTree()
+		if cfg.PaperScale {
+			spec = topology.PaperFatTree()
+		}
+		topo := experiment.FatTreeTopo(spec)
+		rate, baseRTT = topo.Rate(), topo.BaseRTT()
+		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
+	case "parkinglot":
+		segments := cfg.Hosts
+		if segments <= 0 || segments == 17 {
+			segments = 2
+		}
+		rate = rateOf
+		delay := sim.Microsecond
+		baseRTT = 2*sim.Time(segments+2)*delay + 500*sim.Nanosecond
+		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network {
+			return topology.ParkingLot(eng, segments, rate, rate, delay, h, s)
+		}
+	default:
+		return nil, fmt.Errorf("hpcc: unknown topology %q", cfg.Topology)
+	}
+
+	scfg := fabric.SwitchConfig{
+		PFCEnabled: true,
+		INTEnabled: scheme.INT,
+		ECNEnabled: scheme.ECN,
+		Seed:       cfg.Seed,
+	}
+	if scheme.ECN {
+		scfg.KMin = scheme.Kmin(rate)
+		scfg.KMax = scheme.Kmax(rate)
+	}
+	hcfg := host.Config{
+		CC:      scheme.Factory,
+		INT:     scheme.INT,
+		BaseRTT: baseRTT,
+		Seed:    cfg.Seed,
+	}
+	return &Network{
+		eng:    eng,
+		nw:     build(hcfg, scfg),
+		scheme: scheme,
+		rate:   rate,
+		rtt:    baseRTT,
+	}, nil
+}
+
+// NumHosts returns the host count.
+func (n *Network) NumHosts() int { return len(n.nw.Hosts) }
+
+// Scheme returns the active congestion-control name.
+func (n *Network) Scheme() string { return n.scheme.Name }
+
+// BaseRTT returns the network's base round-trip constant T.
+func (n *Network) BaseRTT() time.Duration { return fromSim(n.rtt) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return fromSim(n.eng.Now()) }
+
+// StartFlow launches size bytes from host src to host dst immediately.
+func (n *Network) StartFlow(src, dst int, size int64) *Flow {
+	return &Flow{inner: n.nw.StartFlow(src, dst, size, nil), net: n}
+}
+
+// StartFlowAt schedules a flow to begin after delay d. The returned
+// handle is valid immediately but idle until the start time.
+func (n *Network) StartFlowAt(d time.Duration, src, dst int, size int64) *Flow {
+	f := &Flow{net: n}
+	n.eng.After(toSim(d), func() {
+		f.inner = n.nw.StartFlow(src, dst, size, nil)
+	})
+	return f
+}
+
+// Read issues an RDMA READ (§4.2): host requester pulls size bytes from
+// host responder; the returned channel-free handle reports completion
+// via done, which fires when every byte has arrived at the requester.
+func (n *Network) Read(requester, responder int, size int64, done func()) {
+	rh := n.nw.Hosts[requester]
+	n.readSeq++
+	rh.Read(-n.readSeq, n.nw.Hosts[responder].ID(), size, 0, done)
+}
+
+// Run advances virtual time by d.
+func (n *Network) Run(d time.Duration) { n.eng.RunUntil(n.eng.Now() + toSim(d)) }
+
+// RunUntilIdle runs until no simulation events remain (all finite flows
+// done). Networks with unfinished long-running flows never go idle; use
+// Run instead.
+func (n *Network) RunUntilIdle() { n.eng.Run() }
+
+// QueueTrace samples the total switch-queue backlog every interval for
+// dur and returns (time, bytes) points.
+type QueuePoint struct {
+	At    time.Duration
+	Bytes int64
+}
+
+// TraceQueues installs a backlog sampler; read the result after Run.
+func (n *Network) TraceQueues(interval, dur time.Duration) *[]QueuePoint {
+	out := &[]QueuePoint{}
+	mon := stats.NewQueueMonitor(n.eng, n.nw.SwitchPorts(), fabric.PrioData, toSim(interval), n.eng.Now()+toSim(dur))
+	n.eng.At(n.eng.Now()+toSim(dur), func() {
+		for _, tp := range mon.Series {
+			*out = append(*out, QueuePoint{At: fromSim(tp.T), Bytes: int64(tp.V)})
+		}
+	})
+	return out
+}
+
+// Drops returns total packets dropped across the fabric so far.
+func (n *Network) Drops() uint64 { return n.nw.TotalDrops() }
+
+// PFCPauseFraction returns the fraction of (switch-port × time) spent
+// paused so far.
+func (n *Network) PFCPauseFraction() float64 {
+	return stats.PFCPauseFraction(n.nw.Switches, fabric.PrioData, n.eng.Now())
+}
+
+// Done reports whether the flow completed (every byte acknowledged).
+func (f *Flow) Done() bool { return f.inner != nil && f.inner.Done() }
+
+// FCT returns the flow completion time (zero until Done).
+func (f *Flow) FCT() time.Duration {
+	if f.inner == nil || !f.inner.Done() {
+		return 0
+	}
+	return fromSim(f.inner.FCT())
+}
+
+// Acked returns cumulatively acknowledged bytes.
+func (f *Flow) Acked() int64 {
+	if f.inner == nil {
+		return 0
+	}
+	return f.inner.Acked()
+}
+
+// Slowdown returns FCT normalized by the flow's ideal FCT on an empty
+// network (valid once Done).
+func (f *Flow) Slowdown() float64 {
+	if f.inner == nil || !f.inner.Done() {
+		return 0
+	}
+	rec := stats.FCTRecord{
+		Size:  f.inner.Size(),
+		FCT:   f.inner.FCT(),
+		Ideal: stats.IdealFCT(f.inner.Size(), f.net.rate, f.net.rtt, 1000, f.net.scheme.INT),
+	}
+	return rec.Slowdown()
+}
+
+// Stop aborts the flow (for long-running flows that "leave").
+func (f *Flow) Stop() {
+	if f.inner != nil {
+		f.inner.Abort()
+	}
+}
+
+// OnProgress registers a callback observing each cumulative-ACK
+// advance (newly acknowledged bytes). Call before the flow starts
+// moving for a complete trace.
+func (f *Flow) OnProgress(fn func(newlyAcked int64)) {
+	attach := func() {
+		f.inner.OnProgress = func(_ *host.Flow, n int64) { fn(n) }
+	}
+	if f.inner != nil {
+		attach()
+	} else {
+		// Scheduled flow: attach as soon as it materializes.
+		f.net.eng.After(0, func() { f.deferredAttach(fn) })
+	}
+}
+
+func (f *Flow) deferredAttach(fn func(int64)) {
+	if f.inner != nil {
+		f.inner.OnProgress = func(_ *host.Flow, n int64) { fn(n) }
+		return
+	}
+	f.net.eng.After(sim.Microsecond, func() { f.deferredAttach(fn) })
+}

@@ -1,0 +1,159 @@
+package hpcc
+
+import (
+	"fmt"
+	"time"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// SimConfig describes a whole-cluster load experiment: Poisson traffic
+// from a public flow-size distribution (plus optional incast) on one of
+// the paper's topologies.
+type SimConfig struct {
+	// Scheme is the congestion control (see SchemeNames). Default
+	// "hpcc".
+	Scheme string
+	// Topology: "pod" (default; the paper's testbed) or "fattree".
+	Topology string
+	// PaperScale selects the full 320-host FatTree.
+	PaperScale bool
+	// Workload: "websearch" (default) or "fbhadoop".
+	Workload string
+	// Load is the target average link load (default 0.3).
+	Load float64
+	// Flows caps the number of generated flows (default 1000).
+	Flows int
+	// Duration is the arrival window (default 20 ms of virtual time).
+	Duration time.Duration
+	// Drain is extra time for in-flight flows (default 30 ms).
+	Drain time.Duration
+	// Incast adds periodic fan-in events (60-to-1 × 500 KB at 2% of
+	// capacity, scaled down on small fabrics), as in §5.3.
+	Incast bool
+	// Lossless enables PFC (default true). When false, switches drop
+	// and hosts recover via go-back-N.
+	Lossless *bool
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+// SimResult summarizes one load experiment.
+type SimResult struct {
+	Scheme string
+	// Flows completed; Censored were still in flight at the horizon.
+	Flows, Censored int
+	// SlowdownP50/P95/P99 are FCT-slowdown percentiles over all flows.
+	SlowdownP50, SlowdownP95, SlowdownP99 float64
+	// ShortFlowP99Slowdown covers flows ≤ 7 KB (the latency-sensitive
+	// class the paper highlights).
+	ShortFlowP99Slowdown float64
+	// QueueP50KB/P99KB/MaxKB are switch-queue percentiles over 10 µs
+	// samples.
+	QueueP50KB, QueueP99KB, QueueMaxKB float64
+	// PFCPauseFraction is paused (port × time) over the whole run.
+	PFCPauseFraction float64
+	Drops            uint64
+	// BucketP95 maps each flow-size bucket edge to its 95th-percentile
+	// slowdown (the paper's FCT-figure series).
+	BucketP95 []BucketPoint
+}
+
+// BucketPoint is one x-position of an FCT figure.
+type BucketPoint struct {
+	SizeHi int64
+	P95    float64
+	N      int
+}
+
+// Run executes a load experiment and summarizes it.
+func Run(cfg SimConfig) (*SimResult, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "hpcc"
+	}
+	scheme, err := experiment.ByName(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	var topo experiment.Topo
+	switch cfg.Topology {
+	case "", "pod":
+		topo = experiment.PodTopo(topology.PodSpec{})
+	case "fattree":
+		spec := topology.ScaledFatTree()
+		if cfg.PaperScale {
+			spec = topology.PaperFatTree()
+		}
+		topo = experiment.FatTreeTopo(spec)
+	default:
+		return nil, fmt.Errorf("hpcc: unknown topology %q", cfg.Topology)
+	}
+	var cdf *workload.CDF
+	var edges []int64
+	switch cfg.Workload {
+	case "", "websearch":
+		cdf, edges = workload.WebSearch(), stats.WebSearchEdges()
+	case "fbhadoop":
+		cdf, edges = workload.FBHadoop(), stats.FBHadoopEdges()
+	default:
+		return nil, fmt.Errorf("hpcc: unknown workload %q (want websearch or fbhadoop)", cfg.Workload)
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 0.3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sc := experiment.LoadScenario{
+		Scheme:   scheme,
+		Topo:     topo,
+		CDF:      cdf,
+		Load:     cfg.Load,
+		MaxFlows: cfg.Flows,
+		Until:    toSim(cfg.Duration),
+		Drain:    toSim(cfg.Drain),
+		PFC:      cfg.Lossless == nil || *cfg.Lossless,
+		Seed:     cfg.Seed,
+	}
+	if cfg.Incast {
+		fanIn := 60
+		if cfg.Topology == "pod" || cfg.Topology == "" {
+			fanIn = 16
+		}
+		sc.Incast = &experiment.Incast{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02}
+	}
+	r := experiment.RunLoad(sc)
+
+	sl := r.FCT.Slowdowns()
+	out := &SimResult{
+		Scheme:               r.Scheme,
+		Flows:                len(r.FCT.Records),
+		Censored:             r.Censored,
+		SlowdownP50:          stats.Percentile(sl, 50),
+		SlowdownP95:          stats.Percentile(sl, 95),
+		SlowdownP99:          stats.Percentile(sl, 99),
+		ShortFlowP99Slowdown: shortP99(&r.FCT, 7_000),
+		QueueP50KB:           r.Queue.P50 / 1024,
+		QueueP99KB:           r.Queue.P99 / 1024,
+		QueueMaxKB:           r.Queue.Max / 1024,
+		PFCPauseFraction:     r.PauseFrac,
+		Drops:                r.Drops,
+	}
+	for _, row := range r.FCT.Buckets(edges) {
+		out.BucketP95 = append(out.BucketP95, BucketPoint{SizeHi: row.Hi, P95: row.Stats.P95, N: row.Stats.N})
+	}
+	return out, nil
+}
+
+func shortP99(set *stats.FCTSet, limit int64) float64 {
+	var xs []float64
+	for _, rec := range set.Records {
+		if rec.Size <= limit {
+			xs = append(xs, rec.Slowdown())
+		}
+	}
+	return stats.Percentile(xs, 99)
+}
