@@ -1,14 +1,28 @@
-// Command hpccexp reproduces the HPCC paper's figures one by one,
-// printing the same rows/series each figure plots. DESIGN.md maps every
-// figure to its implementation; EXPERIMENTS.md records paper-vs-
-// measured outcomes.
+// Command hpccexp runs campaigns over the registered experiment
+// scenarios — every figure and ablation of the HPCC paper plus the
+// extra scenarios registered through the same interface. Jobs fan out
+// across a bounded worker pool with deterministic per-job seeding, so
+// output is byte-identical whatever -parallel is.
 //
 // Usage:
 //
-//	hpccexp [flags] fig1|fig2|fig3|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|theory|all
+//	hpccexp [flags] <scenario|family|glob|all>...
+//	hpccexp -list
+//
+// Selectors are exact names ("fig11"), family prefixes ("fig9" runs
+// every fig9-* job, "ablations" both ablations), path globs ("fig1*"),
+// or "all". Examples:
+//
+//	hpccexp -list
+//	hpccexp fig2 fig3
+//	hpccexp -parallel 8 all
+//	hpccexp -seeds 5 -json fig10 > fig10.json
+//	hpccexp -csv 'fig9-*' > fig9.csv
 //
 // The default scale is CI-friendly; -scale bench roughly quadruples the
 // flow counts, -scale paper uses the full 320-host FatTree (slow).
+// Per-job wall-clock/event-count timing goes to stderr (-timing=false
+// to silence).
 package main
 
 import (
@@ -16,7 +30,9 @@ import (
 	"fmt"
 	"os"
 
+	"hpcc/internal/campaign"
 	"hpcc/internal/experiment"
+	"hpcc/internal/report"
 	"hpcc/internal/sim"
 	"hpcc/internal/topology"
 )
@@ -24,89 +40,86 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "default", "experiment scale: default, bench, paper")
-		seed      = flag.Int64("seed", 1, "RNG seed")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		seeds     = flag.Int("seeds", 1, "replicates per scenario; >1 aggregates cells to mean±95% CI")
+		parallel  = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		asJSON    = flag.Bool("json", false, "emit one JSON document instead of text tables")
+		asCSV     = flag.Bool("csv", false, "emit CSV sections instead of text tables")
+		timing    = flag.Bool("timing", true, "print per-job wall-clock/event timing to stderr")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hpccexp [flags] <figure>...\n")
-		fmt.Fprintf(os.Stderr, "figures: fig1 fig2 fig3 fig6 fig9 fig10 fig11 fig12 fig13 fig14 ablations theory all\n")
+		fmt.Fprintf(os.Stderr, "usage: hpccexp [flags] <scenario|family|glob|all>...\n")
+		fmt.Fprintf(os.Stderr, "       hpccexp -list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *list {
+		for _, s := range experiment.All() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Title)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *asJSON && *asCSV {
+		fmt.Fprintln(os.Stderr, "hpccexp: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
 
-	sc, fat := scales(*scaleName, *seed)
-	for _, name := range flag.Args() {
-		if name == "all" {
-			for _, f := range []string{"fig1", "fig2", "fig3", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablations", "theory"} {
-				runFigure(f, sc, fat, *seed)
-			}
-			continue
+	sc, fat := scales(*scaleName)
+	scens, err := experiment.Match(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccexp:", err)
+		os.Exit(2)
+	}
+
+	jobs := make([]campaign.Job, len(scens))
+	for i, s := range scens {
+		run := s.Run
+		jobs[i] = campaign.Job{
+			Name: s.Name,
+			Run: func(jobSeed int64) []*experiment.Table {
+				return run(experiment.Params{Scale: sc, Fat: fat, Seed: jobSeed})
+			},
 		}
-		runFigure(name, sc, fat, *seed)
+	}
+
+	res := campaign.Run(campaign.Config{Parallel: *parallel, Seeds: *seeds, BaseSeed: *seed}, jobs)
+	if *timing {
+		report.WriteTiming(os.Stderr, res)
+	}
+
+	switch {
+	case *asJSON:
+		err = report.WriteJSON(os.Stdout, res, map[string]string{"scale": *scaleName})
+	case *asCSV:
+		err = report.WriteCSV(os.Stdout, res)
+	default:
+		err = report.WriteText(os.Stdout, res)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccexp:", err)
+		os.Exit(1)
+	}
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "hpccexp: job failed:", err)
+		os.Exit(1)
 	}
 }
 
-func scales(name string, seed int64) (experiment.Scale, topology.FatTreeSpec) {
+func scales(name string) (experiment.Scale, topology.FatTreeSpec) {
 	switch name {
 	case "bench":
-		return experiment.Scale{MaxFlows: 3000, Until: 40 * sim.Millisecond, Drain: 60 * sim.Millisecond, Seed: seed},
+		return experiment.Scale{MaxFlows: 3000, Until: 40 * sim.Millisecond, Drain: 60 * sim.Millisecond},
 			topology.ScaledFatTree()
 	case "paper":
-		return experiment.Scale{MaxFlows: 20000, Until: 100 * sim.Millisecond, Drain: 200 * sim.Millisecond, Seed: seed},
+		return experiment.Scale{MaxFlows: 20000, Until: 100 * sim.Millisecond, Drain: 200 * sim.Millisecond},
 			topology.PaperFatTree()
 	default:
-		return experiment.Scale{Seed: seed}, topology.ScaledFatTree()
-	}
-}
-
-func runFigure(name string, sc experiment.Scale, fat topology.FatTreeSpec, seed int64) {
-	w := os.Stdout
-	switch name {
-	case "fig1":
-		experiment.Fig01(0, seed).Table().Fprint(w)
-	case "fig2":
-		for _, t := range experiment.Fig02(sc).Tables() {
-			t.Fprint(w)
-		}
-	case "fig3":
-		for _, t := range experiment.Fig03(sc).Tables() {
-			t.Fprint(w)
-		}
-	case "fig6":
-		experiment.Fig06(0, seed).Table().Fprint(w)
-	case "fig9":
-		experiment.Fig09LongShort(nil, 0, seed).Table().Fprint(w)
-		experiment.Fig09Incast(nil, 0, seed).Table().Fprint(w)
-		experiment.Fig09Mice(nil, 0, seed).Table().Fprint(w)
-		experiment.Fig09Fairness(nil, 0, seed).Table().Fprint(w)
-	case "fig10":
-		for _, t := range experiment.Fig10(sc).Tables() {
-			t.Fprint(w)
-		}
-	case "fig11":
-		for _, t := range experiment.Fig11(fat, sc).Tables() {
-			t.Fprint(w)
-		}
-	case "fig12":
-		for _, t := range experiment.Fig12(fat, sc).Tables() {
-			t.Fprint(w)
-		}
-	case "fig13":
-		for _, t := range experiment.Fig13(0, seed).Tables() {
-			t.Fprint(w)
-		}
-	case "fig14":
-		experiment.Fig14(nil, 0, seed).Table().Fprint(w)
-	case "ablations":
-		experiment.EtaMaxStageTable(experiment.AblationEtaMaxStage(0, seed)).Fprint(w)
-		experiment.QuantizeTable(experiment.AblationINTQuantization(sc)).Fprint(w)
-	case "theory":
-		experiment.TheoryLemmaTable(200, seed).Fprint(w)
-	default:
-		fmt.Fprintf(os.Stderr, "hpccexp: unknown figure %q\n", name)
-		os.Exit(2)
+		return experiment.Scale{}, topology.ScaledFatTree()
 	}
 }

@@ -6,9 +6,11 @@
 //
 //	hpccsim -scheme hpcc -topo pod -workload websearch -load 0.5
 //	hpccsim -scheme dcqcn -topo fattree -workload fbhadoop -incast
+//	hpccsim -json -scheme hpcc -load 0.5 > result.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 		incast   = flag.Bool("incast", false, "add periodic fan-in events (2% of capacity)")
 		lossy    = flag.Bool("lossy", false, "disable PFC (go-back-N recovery)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
+		asJSON   = flag.Bool("json", false, "emit the result as one JSON document")
 	)
 	flag.Parse()
 
@@ -50,6 +53,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpccsim:", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "hpccsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("scheme        %s\n", res.Scheme)

@@ -1,0 +1,3 @@
+module hpcc
+
+go 1.24

@@ -10,6 +10,33 @@ import (
 // fig9Rate is the testbed NIC speed (25 Gbps, §5.1).
 const fig9Rate = 25 * sim.Gbps
 
+func init() {
+	Register(Scenario{
+		Name:  "fig9-longshort",
+		Order: 50,
+		Title: "long-flow rate recovery around a 1MB short flow (25G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig09LongShort(nil, 0, p.Seed).Table()} },
+	})
+	Register(Scenario{
+		Name:  "fig9-incast",
+		Order: 51,
+		Title: "7-to-1 incast joining a long flow: queue build-up and drain (25G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig09Incast(nil, 0, p.Seed).Table()} },
+	})
+	Register(Scenario{
+		Name:  "fig9-mice",
+		Order: 52,
+		Title: "mice latency and queue size under two elephants (25G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig09Mice(nil, 0, p.Seed).Table()} },
+	})
+	Register(Scenario{
+		Name:  "fig9-fairness",
+		Order: 53,
+		Title: "fair share under staggered join/leave (25G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig09Fairness(nil, 0, p.Seed).Table()} },
+	})
+}
+
 // Fig09LongShortResult is Figure 9a/9b: a long flow's rate recovery
 // after a 1 MB short flow comes and goes.
 type Fig09LongShortResult struct {

@@ -33,6 +33,15 @@ func (s *Scale) normalize(flows int) {
 	}
 }
 
+func init() {
+	Register(Scenario{
+		Name:  "fig10",
+		Order: 60,
+		Title: "HPCC vs DCQCN end-to-end: FCT and queues (WebSearch, PoD)",
+		Run:   func(p Params) []*Table { return Fig10(p.scale()).Tables() },
+	})
+}
+
 // Fig10Result is the testbed end-to-end comparison (Figure 10): FCT
 // slowdown buckets and queue-length distributions for HPCC vs DCQCN on
 // the PoD at 30% and 50% WebSearch load.

@@ -6,6 +6,15 @@ import (
 	"hpcc/internal/workload"
 )
 
+func init() {
+	Register(Scenario{
+		Name:  "fig11",
+		Order: 70,
+		Title: "six-scheme comparison at scale (FB_Hadoop, FatTree)",
+		Run:   func(p Params) []*Table { return Fig11(p.Fat, p.scale()).Tables() },
+	})
+}
+
 // Fig11Result is the six-scheme large-scale comparison (Figure 11):
 // FB_Hadoop on the FatTree at 30% load + 60-to-1 incast and at 50%
 // load, reporting 95th-percentile FCT slowdowns, PFC pause fractions

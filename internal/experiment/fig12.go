@@ -7,6 +7,15 @@ import (
 	"hpcc/internal/workload"
 )
 
+func init() {
+	Register(Scenario{
+		Name:  "fig12",
+		Order: 80,
+		Title: "flow-control choices: PFC vs go-back-N vs IRN (FB_Hadoop, FatTree)",
+		Run:   func(p Params) []*Table { return Fig12(p.Fat, p.scale()).Tables() },
+	})
+}
+
 // Fig12Result is the flow-control-choices experiment (Figure 12):
 // {PFC, go-back-N, IRN} × {DCQCN, HPCC} on the FatTree at 30% load +
 // incast. The paper's takeaway: with HPCC the flow-control choice

@@ -7,6 +7,15 @@ import (
 	"hpcc/internal/stats"
 )
 
+func init() {
+	Register(Scenario{
+		Name:  "fig13",
+		Order: 90,
+		Title: "reaction combining: per-ACK vs per-RTT vs HPCC (16-to-1, 100G)",
+		Run:   func(p Params) []*Table { return Fig13(0, p.Seed).Tables() },
+	})
+}
+
 // Fig13Result compares the reaction-combining strategies of §5.4
 // (Figure 13): per-ACK, per-RTT and HPCC's reference-window scheme
 // under a 16-to-1 incast on 100 Gbps links.

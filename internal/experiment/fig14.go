@@ -7,6 +7,15 @@ import (
 	"hpcc/internal/stats"
 )
 
+func init() {
+	Register(Scenario{
+		Name:  "fig14",
+		Order: 100,
+		Title: "W_AI sweep: fairness vs standing queue (16-to-1, 100G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig14(nil, 0, p.Seed).Table()} },
+	})
+}
+
 // Fig14Row is one W_AI setting's outcome (Figure 14): fairness across
 // the 16 concurrent flows and the queue-length distribution.
 type Fig14Row struct {

@@ -103,6 +103,15 @@ type SeriesPair struct {
 	Queue      []stats.TimePoint // bytes (total across monitored ports)
 }
 
+func init() {
+	Register(Scenario{
+		Name:  "fig6",
+		Order: 40,
+		Title: "txRate vs rxRate congestion signal (2-to-1, 100G)",
+		Run:   func(p Params) []*Table { return []*Table{Fig06(0, p.Seed).Table()} },
+	})
+}
+
 // Fig06Result compares txRate- vs rxRate-based HPCC (Figure 6).
 type Fig06Result struct {
 	Variants []SeriesPair

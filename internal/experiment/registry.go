@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"hpcc/internal/topology"
+)
+
+// Params parameterizes one scenario run. The campaign runner supplies a
+// distinct Seed per job replicate; scenarios must draw all randomness
+// from it so runs are reproducible and independent of scheduling.
+type Params struct {
+	// Scale bounds the load scenarios (flow caps, horizons). Its Seed
+	// field is ignored: scenarios must use Params.Seed.
+	Scale Scale
+	// Fat is the FatTree spec for the large-scale scenarios.
+	Fat topology.FatTreeSpec
+	// Seed is the replicate's RNG seed.
+	Seed int64
+}
+
+// scale returns p.Scale with the replicate seed folded in.
+func (p Params) scale() Scale {
+	sc := p.Scale
+	sc.Seed = p.Seed
+	return sc
+}
+
+// Scenario is one independently runnable experiment — a figure panel
+// set, an ablation, or any registered extra. Each invocation of Run
+// must build its own sim.Engine(s), touch no shared mutable state, and
+// derive all randomness from Params.Seed, so scenarios can execute
+// concurrently and a campaign's output is schedule-independent.
+type Scenario struct {
+	// Name is the CLI spelling (e.g. "fig11", "fig9-incast"). Scenarios
+	// in a family share a dash-separated prefix so the bare family name
+	// selects them all ("fig9" runs every "fig9-*" job).
+	Name string
+	// Title is the one-line description shown by -list.
+	Title string
+	// Order positions the scenario in canonical "all" order.
+	Order int
+	// Run executes the scenario and returns its rendered tables.
+	Run func(Params) []*Table
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. Duplicate names
+// panic: they are always a wiring bug.
+func Register(s Scenario) {
+	if s.Name == "" || s.Run == nil {
+		panic("experiment: Register needs a name and a Run func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("experiment: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// All returns every registered scenario in canonical order.
+func All() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Lookup resolves one scenario by exact name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Match expands CLI selectors into scenarios, deduplicated, in
+// canonical order. A selector is "all", an exact name, a family prefix
+// ("fig9" selects every "fig9-*"), or a path glob ("fig1*", "*incast*").
+// An selector matching nothing is an error.
+func Match(selectors []string) ([]Scenario, error) {
+	all := All()
+	picked := make(map[string]bool)
+	for _, sel := range selectors {
+		if sel == "all" {
+			for _, s := range all {
+				picked[s.Name] = true
+			}
+			continue
+		}
+		matched := false
+		for _, s := range all {
+			ok := s.Name == sel || strings.HasPrefix(s.Name, sel+"-")
+			if !ok {
+				if g, err := path.Match(sel, s.Name); err != nil {
+					return nil, fmt.Errorf("experiment: bad pattern %q: %v", sel, err)
+				} else if g {
+					ok = true
+				}
+			}
+			if ok {
+				picked[s.Name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("experiment: no scenario matches %q (try -list)", sel)
+		}
+	}
+	var out []Scenario
+	for _, s := range all {
+		if picked[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -14,9 +14,10 @@ import (
 
 // Topo selects and parameterizes a topology for a scenario.
 type Topo struct {
-	Kind string // "star", "pod", "fattree", "dumbbell"
+	Kind string // "star", "pod", "fattree", "dumbbell", "parkinglot"
 
-	// Star / dumbbell parameters.
+	// Star / dumbbell parameters; for "parkinglot", N is the segment
+	// count of the multi-bottleneck chain.
 	N        int
 	HostRate sim.Rate
 	Delay    sim.Time
@@ -37,6 +38,13 @@ func PodTopo(spec topology.PodSpec) Topo { return Topo{Kind: "pod", Pod: spec} }
 // FatTreeTopo is the §5.3 simulation fabric.
 func FatTreeTopo(spec topology.FatTreeSpec) Topo { return Topo{Kind: "fattree", Fat: spec} }
 
+// ParkingLotTopo is the §3.2/Appendix-A multi-bottleneck chain:
+// segments+1 switches in a line whose inter-switch links run at the
+// host rate, so every segment a flow crosses is a potential bottleneck.
+func ParkingLotTopo(segments int, rate sim.Rate) Topo {
+	return Topo{Kind: "parkinglot", N: segments, HostRate: rate, Delay: sim.Microsecond}
+}
+
 // Build constructs the network.
 func (t Topo) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *topology.Network {
 	switch t.Kind {
@@ -48,6 +56,8 @@ func (t Topo) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig)
 		return topology.Pod(eng, t.Pod, hcfg, scfg)
 	case "fattree":
 		return topology.FatTree(eng, t.Fat, hcfg, scfg)
+	case "parkinglot":
+		return topology.ParkingLot(eng, t.N, t.HostRate, t.HostRate, t.Delay, hcfg, scfg)
 	default:
 		panic(fmt.Sprintf("experiment: unknown topology %q", t.Kind))
 	}
@@ -83,6 +93,10 @@ func (t Topo) BaseRTT() sim.Time {
 		return 9 * sim.Microsecond
 	case "fattree":
 		return 13 * sim.Microsecond
+	case "parkinglot":
+		// The long flow crosses every inter-switch hop plus both host
+		// links: 2·(segments+2) one-way link delays, with margin.
+		return 2*sim.Time(t.N+2)*t.Delay + time500ns
 	default:
 		return 4*t.Delay + time500ns
 	}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// The "extra" family holds scenarios beyond the paper's figures,
+// registered through the same interface as every reproduction job.
+func init() {
+	Register(Scenario{
+		Name:  "extra-fbsweep",
+		Order: 130,
+		Title: "FB_Hadoop load sweep 30/50/70% on the FatTree (HPCC vs DCQCN)",
+		Run:   func(p Params) []*Table { return SweepFBHadoop(p.Fat, p.scale()).Tables() },
+	})
+	Register(Scenario{
+		Name:  "extra-parkinglot",
+		Order: 131,
+		Title: "six-scheme comparison on an oversubscribed parking-lot chain",
+		Run:   func(p Params) []*Table { return ParkingLotCompare(p.scale()).Tables() },
+	})
+}
+
+// SweepResult is the FB_Hadoop load sweep: the Figure-11 workload
+// pushed through increasing offered load to map where each scheme's
+// tails blow up — the scenario-diversity axis PCC-style evaluations
+// argue for.
+type SweepResult struct {
+	Loads   []float64
+	Schemes []string
+	Results [][]*LoadResult // [load][scheme]
+}
+
+// SweepFBHadoop runs FB_Hadoop at 30/50/70% load on the FatTree for
+// HPCC and DCQCN.
+func SweepFBHadoop(spec topology.FatTreeSpec, sc Scale) *SweepResult {
+	sc.normalize(400)
+	if spec.Cores == 0 {
+		spec = topology.ScaledFatTree()
+	}
+	res := &SweepResult{Loads: []float64{0.3, 0.5, 0.7}}
+	schemes := []Scheme{ByNameMust("hpcc"), ByNameMust("dcqcn")}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name)
+	}
+	for _, load := range res.Loads {
+		var lrs []*LoadResult
+		for _, scheme := range schemes {
+			lrs = append(lrs, RunLoad(LoadScenario{
+				Scheme:      scheme,
+				Topo:        FatTreeTopo(spec),
+				CDF:         workload.FBHadoop(),
+				Load:        load,
+				MaxFlows:    sc.MaxFlows,
+				Until:       sc.Until,
+				Drain:       sc.Drain,
+				PFC:         true,
+				Seed:        sc.Seed,
+				BufferBytes: BufferFor(spec.NumHosts()),
+			}))
+		}
+		res.Results = append(res.Results, lrs)
+	}
+	return res
+}
+
+// Tables renders the sweep: one row per load × scheme.
+func (r *SweepResult) Tables() []*Table {
+	t := &Table{
+		Title: "Extra: FB_Hadoop load sweep on the FatTree",
+		Cols:  []string{"load(%)", "scheme", "sd-p50", "sd-p95", "sd-p99", "p95-lat-short(us)", "q-p99(KB)", "pause-frac(%)", "censored"},
+	}
+	for li, load := range r.Loads {
+		for si, s := range r.Schemes {
+			lr := r.Results[li][si]
+			sl := lr.FCT.Slowdowns()
+			t.AddRow(
+				fmt.Sprintf("%.0f", load*100), s,
+				f2(stats.Percentile(sl, 50)), f2(stats.Percentile(sl, 95)), f2(stats.Percentile(sl, 99)),
+				f1(lr.ShortFlowP95Latency(7_000)),
+				f1(lr.Queue.P99/1024),
+				f2(lr.PauseFrac*100),
+				fmt.Sprintf("%d", lr.Censored))
+		}
+	}
+	t.AddNote("same FB_Hadoop + FatTree fixture as Figure 11, swept past the paper's 50%% operating point")
+	return []*Table{t}
+}
+
+// ParkingLotResult is the six-scheme comparison of Figure 11 moved onto
+// the oversubscribed parking-lot chain: inter-switch links run at the
+// host rate, so background flows contend on every segment they cross
+// instead of inside a non-blocking fabric.
+type ParkingLotResult struct {
+	Segments int
+	Schemes  []string
+	Buckets  [][]stats.BucketRow
+	Results  []*LoadResult
+}
+
+// ParkingLotCompare runs FB_Hadoop at 50% load over a 4-segment
+// parking lot for the six Figure-11 schemes.
+func ParkingLotCompare(sc Scale) *ParkingLotResult {
+	sc.normalize(400)
+	const segments = 4
+	res := &ParkingLotResult{Segments: segments}
+	for _, scheme := range Fig11Schemes() {
+		res.Schemes = append(res.Schemes, scheme.Name)
+		r := RunLoad(LoadScenario{
+			Scheme:   scheme,
+			Topo:     ParkingLotTopo(segments, 100*sim.Gbps),
+			CDF:      workload.FBHadoop(),
+			Load:     0.5,
+			MaxFlows: sc.MaxFlows,
+			Until:    sc.Until,
+			Drain:    sc.Drain,
+			PFC:      true,
+			Seed:     sc.Seed,
+		})
+		res.Buckets = append(res.Buckets, r.FCT.Buckets(stats.FBHadoopEdges()))
+		res.Results = append(res.Results, r)
+	}
+	return res
+}
+
+// Tables renders the parking-lot comparison: the Figure-11 FCT panel
+// plus the pause/queue summary.
+func (r *ParkingLotResult) Tables() []*Table {
+	fct := &Table{
+		Title: fmt.Sprintf("Extra: 95th-pct FCT slowdown, FB_Hadoop 50%% (parking lot, %d segments)", r.Segments),
+		Cols:  []string{"size"},
+	}
+	fct.Cols = append(fct.Cols, r.Schemes...)
+	for b := range r.Buckets[0] {
+		row := []string{sizeLabel(r.Buckets[0][b].Hi)}
+		for si := range r.Schemes {
+			row = append(row, f2(r.Buckets[si][b].Stats.P95))
+		}
+		fct.AddRow(row...)
+	}
+	fct.AddNote("multi-bottleneck chain: inter-switch links at host rate (oversubscribed), long paths cross every segment")
+
+	sum := &Table{
+		Title: "Extra: pause and queues on the parking lot",
+		Cols:  []string{"scheme", "pause-frac(%)", "q-p99(KB)", "drops", "censored"},
+	}
+	for si, s := range r.Schemes {
+		lr := r.Results[si]
+		sum.AddRow(s,
+			f2(lr.PauseFrac*100),
+			f1(lr.Queue.P99/1024),
+			fmt.Sprintf("%d", lr.Drops),
+			fmt.Sprintf("%d", lr.Censored))
+	}
+	return []*Table{fct, sum}
+}

@@ -2,6 +2,7 @@ package host
 
 import (
 	"math"
+	"sync/atomic"
 
 	"hpcc/internal/cc"
 	"hpcc/internal/fabric"
@@ -9,7 +10,10 @@ import (
 	"hpcc/internal/sim"
 )
 
-var pktID uint64
+// pktID is the process-wide packet-ID source, used only for tracing
+// (forwarding never branches on it). It is atomic so independent
+// engines may run on concurrent goroutines (campaign workers).
+var pktID atomic.Uint64
 
 // Flow is one sender-side queue pair: it segments size bytes into
 // MTU-sized packets, enforces the CC window and pacing rate, and runs
@@ -149,9 +153,8 @@ func (f *Flow) emit(now sim.Time, seq int64, payload int32, isRtx bool) {
 	if f.host.cfg.INT {
 		size += packet.INTOverhead
 	}
-	pktID++
 	p := &packet.Packet{
-		ID:         pktID,
+		ID:         pktID.Add(1),
 		Type:       packet.Data,
 		FlowID:     f.ID,
 		Src:        int32(f.host.id),

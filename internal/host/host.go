@@ -265,9 +265,8 @@ func (h *Host) flowFinished() {
 // bytes have arrived in order. The request rides the control class.
 func (h *Host) Read(id int32, responder fabric.NodeID, size int64, portIdx int, onDone func()) {
 	h.reads[id] = &pendingRead{size: size, onDone: onDone}
-	pktID++
 	req := &packet.Packet{
-		ID:     pktID,
+		ID:     pktID.Add(1),
 		Type:   packet.ReadReq,
 		FlowID: id,
 		Src:    int32(h.id),

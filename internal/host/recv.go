@@ -105,9 +105,8 @@ func (h *Host) sendAck(via *fabric.Port, p *packet.Packet, cumSeq int64) {
 	if h.cfg.INT {
 		size += packet.INTOverhead
 	}
-	pktID++
 	ack := &packet.Packet{
-		ID:      pktID,
+		ID:      pktID.Add(1),
 		Type:    packet.Ack,
 		FlowID:  p.FlowID,
 		Src:     p.Dst,
@@ -125,9 +124,8 @@ func (h *Host) sendAck(via *fabric.Port, p *packet.Packet, cumSeq int64) {
 
 // sendCtrl emits a NACK or CNP toward the sender of p.
 func (h *Host) sendCtrl(via *fabric.Port, p *packet.Packet, typ packet.Type, expSeq, gotSeq int64) {
-	pktID++
 	ctrl := &packet.Packet{
-		ID:      pktID,
+		ID:      pktID.Add(1),
 		Type:    typ,
 		FlowID:  p.FlowID,
 		Src:     p.Dst,

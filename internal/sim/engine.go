@@ -64,7 +64,9 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	noteEngine(e)
+	return e
 }
 
 // Now returns the current virtual time.

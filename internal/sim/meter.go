@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Meter records every Engine created on its goroutine while attached,
+// so drivers (the campaign runner) can report engine and event counts
+// for scenario code that constructs its engines internally.
+//
+// A Meter observes exactly one goroutine: attach it at the start of a
+// job, run the job synchronously on the same goroutine, then Detach.
+// Reading Events/Engines is only safe once the metered code finished.
+type Meter struct {
+	gid     uint64
+	engines []*Engine
+}
+
+var (
+	meterCount atomic.Int64 // fast-path skip when no meter is attached
+	meterMu    sync.Mutex
+	meters     = map[uint64]*Meter{}
+)
+
+// AttachMeter starts collecting engines created on the calling
+// goroutine. It must be paired with Detach; attaching twice on the same
+// goroutine panics.
+func AttachMeter() *Meter {
+	m := &Meter{gid: gid()}
+	meterMu.Lock()
+	defer meterMu.Unlock()
+	if _, dup := meters[m.gid]; dup {
+		panic("sim: meter already attached on this goroutine")
+	}
+	meters[m.gid] = m
+	meterCount.Add(1)
+	return m
+}
+
+// Detach stops collecting. The meter's counters remain readable.
+func (m *Meter) Detach() {
+	meterMu.Lock()
+	defer meterMu.Unlock()
+	if meters[m.gid] == m {
+		delete(meters, m.gid)
+		meterCount.Add(-1)
+	}
+}
+
+// Engines returns how many engines were created while attached.
+func (m *Meter) Engines() int { return len(m.engines) }
+
+// Events returns the total events fired so far across those engines.
+func (m *Meter) Events() uint64 {
+	var total uint64
+	for _, e := range m.engines {
+		total += e.Fired()
+	}
+	return total
+}
+
+// noteEngine is called from NewEngine. With no meters attached it costs
+// one atomic load.
+func noteEngine(e *Engine) {
+	if meterCount.Load() == 0 {
+		return
+	}
+	id := gid()
+	meterMu.Lock()
+	if m, ok := meters[id]; ok {
+		m.engines = append(m.engines, e)
+	}
+	meterMu.Unlock()
+}
+
+// gid parses the current goroutine's id from the runtime stack header
+// ("goroutine N [running]:"). Only exercised while a meter is attached.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterCountsOwnGoroutine(t *testing.T) {
+	m := AttachMeter()
+	e1 := NewEngine()
+	e2 := NewEngine()
+	fired := 0
+	e1.After(1, func() { fired++ })
+	e1.After(2, func() { fired++ })
+	e2.After(1, func() { fired++ })
+	e1.Run()
+	e2.Run()
+	m.Detach()
+	if fired != 3 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if m.Engines() != 2 {
+		t.Fatalf("Engines = %d, want 2", m.Engines())
+	}
+	if m.Events() != 3 {
+		t.Fatalf("Events = %d, want 3", m.Events())
+	}
+	// Engines created after Detach are not counted.
+	NewEngine()
+	if m.Engines() != 2 {
+		t.Fatal("Detach did not stop collection")
+	}
+}
+
+func TestMeterIsolatesGoroutines(t *testing.T) {
+	const workers = 4
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	events := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := AttachMeter()
+			defer m.Detach()
+			for i := 0; i <= w; i++ {
+				e := NewEngine()
+				e.After(1, func() {})
+				e.Run()
+			}
+			counts[w] = m.Engines()
+			events[w] = m.Events()
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if counts[w] != w+1 {
+			t.Fatalf("worker %d saw %d engines, want %d", w, counts[w], w+1)
+		}
+		if events[w] != uint64(w+1) {
+			t.Fatalf("worker %d saw %d events, want %d", w, events[w], w+1)
+		}
+	}
+}
+
+func TestMeterUnmeteredFastPath(t *testing.T) {
+	// No meter attached: NewEngine must work and observe nothing.
+	e := NewEngine()
+	e.After(1, func() {})
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatal("engine broken without meter")
+	}
+}

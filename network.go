@@ -58,6 +58,9 @@ type Network struct {
 type Flow struct {
 	inner *host.Flow
 	net   *Network
+	// onProgress buffers a callback registered before a scheduled flow
+	// materializes; StartFlowAt's closure attaches it at start time.
+	onProgress func(*host.Flow, int64)
 }
 
 // NewNetwork builds a fabric per cfg. PFC is enabled (lossless), as on
@@ -162,11 +165,15 @@ func (n *Network) StartFlow(src, dst int, size int64) *Flow {
 }
 
 // StartFlowAt schedules a flow to begin after delay d. The returned
-// handle is valid immediately but idle until the start time.
+// handle is valid immediately but idle until the start time — it costs
+// no simulation events until the flow starts.
 func (n *Network) StartFlowAt(d time.Duration, src, dst int, size int64) *Flow {
 	f := &Flow{net: n}
 	n.eng.After(toSim(d), func() {
 		f.inner = n.nw.StartFlow(src, dst, size, nil)
+		if f.onProgress != nil {
+			f.inner.OnProgress = f.onProgress
+		}
 	})
 	return f
 }
@@ -258,23 +265,14 @@ func (f *Flow) Stop() {
 
 // OnProgress registers a callback observing each cumulative-ACK
 // advance (newly acknowledged bytes). Call before the flow starts
-// moving for a complete trace.
+// moving for a complete trace. On a scheduled flow the callback is
+// held and attached by the start closure, costing zero events while
+// the flow waits.
 func (f *Flow) OnProgress(fn func(newlyAcked int64)) {
-	attach := func() {
-		f.inner.OnProgress = func(_ *host.Flow, n int64) { fn(n) }
-	}
+	wrapped := func(_ *host.Flow, n int64) { fn(n) }
 	if f.inner != nil {
-		attach()
-	} else {
-		// Scheduled flow: attach as soon as it materializes.
-		f.net.eng.After(0, func() { f.deferredAttach(fn) })
-	}
-}
-
-func (f *Flow) deferredAttach(fn func(int64)) {
-	if f.inner != nil {
-		f.inner.OnProgress = func(_ *host.Flow, n int64) { fn(n) }
+		f.inner.OnProgress = wrapped
 		return
 	}
-	f.net.eng.After(sim.Microsecond, func() { f.deferredAttach(fn) })
+	f.onProgress = wrapped
 }
