@@ -1,0 +1,254 @@
+// Command hpccbench is the repo's perf-baseline harness: it runs a
+// fixed set of simulation scenarios (FatTree WebSearch at 50% load, a
+// 16:1 incast, and a parking-lot chain), and reports how fast the
+// simulator itself runs — events/sec, simulated packets/sec, and heap
+// allocations per packet. Its JSON output is the recorded perf
+// trajectory (BENCH_PR2.json and successors); CI runs `-quick` as a
+// smoke test and uploads the artifact.
+//
+// Usage:
+//
+//	hpccbench [-quick] [-label name] [-out bench.json]
+//
+// Numbers are wall-clock sensitive: compare runs taken on the same
+// machine. Allocations per packet, in contrast, are deterministic and
+// machine-independent; regressions there are also guarded by
+// testing.AllocsPerRun tests in internal/fabric and internal/host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// ScenarioResult is one scenario's measurement.
+type ScenarioResult struct {
+	Name            string  `json:"name"`
+	WallMS          float64 `json:"wall_ms"`
+	SimulatedMS     float64 `json:"simulated_ms"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	DataPackets     uint64  `json:"data_packets"`
+	PortPackets     uint64  `json:"port_packets"`
+	PacketsPerSec   float64 `json:"packets_per_sec"`
+	Allocs          uint64  `json:"allocs"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	BytesPerPacket  float64 `json:"bytes_per_packet"`
+	Flows           int     `json:"flows"`
+}
+
+// Run is one full harness invocation.
+type Run struct {
+	Label     string           `json:"label"`
+	Quick     bool             `json:"quick"`
+	GoVersion string           `json:"go_version"`
+	Procs     int              `json:"gomaxprocs"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// outcome is what a scenario body reports back to the measurement
+// wrapper: simulated packets and virtual time elapsed.
+type outcome struct {
+	dataPkts uint64
+	portPkts uint64
+	flows    int
+	simTime  sim.Time
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sizes for CI smoke runs")
+		label = flag.String("label", "", "label recorded in the JSON output")
+		out   = flag.String("out", "", "write JSON to this file (default: stdout table only)")
+	)
+	flag.Parse()
+
+	run := Run{Label: *label, Quick: *quick, GoVersion: runtime.Version(), Procs: runtime.GOMAXPROCS(0)}
+	run.Scenarios = append(run.Scenarios,
+		measure("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick) }),
+		measure("incast-16-1", func() outcome { return incast16(*quick) }),
+		measure("parkinglot-4seg", func() outcome { return parkingLot(*quick) }),
+	)
+
+	fmt.Printf("%-22s %10s %12s %12s %14s %14s %10s\n",
+		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt")
+	for _, s := range run.Scenarios {
+		fmt.Printf("%-22s %10.1f %12d %12.0f %14d %14.0f %10.3f\n",
+			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(&run, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpccbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// measure runs fn with the engine meter attached and GC counters
+// bracketed, then derives the throughput metrics.
+func measure(name string, fn func() outcome) ScenarioResult {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	meter := sim.AttachMeter()
+	t0 := time.Now()
+	oc := fn()
+	wall := time.Since(t0)
+	meter.Detach()
+	runtime.ReadMemStats(&m1)
+
+	allocs := m1.Mallocs - m0.Mallocs
+	bytes := m1.TotalAlloc - m0.TotalAlloc
+	r := ScenarioResult{
+		Name:        name,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		SimulatedMS: oc.simTime.Seconds() * 1e3,
+		Events:      meter.Events(),
+		DataPackets: oc.dataPkts,
+		PortPackets: oc.portPkts,
+		Allocs:      allocs,
+		Flows:       oc.flows,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		r.EventsPerSec = float64(r.Events) / secs
+		r.PacketsPerSec = float64(r.DataPackets) / secs
+	}
+	if r.DataPackets > 0 {
+		r.AllocsPerPacket = float64(allocs) / float64(r.DataPackets)
+		r.BytesPerPacket = float64(bytes) / float64(r.DataPackets)
+	}
+	return r
+}
+
+// fattreeWebSearch is the paper's §5.3 setup at half scale: WebSearch
+// Poisson arrivals at 50% load on the CI-sized FatTree, HPCC with INT.
+func fattreeWebSearch(quick bool) outcome {
+	s := experiment.LoadScenario{
+		Scheme:   mustScheme("hpcc"),
+		Topo:     experiment.FatTreeTopo(topology.ScaledFatTree()),
+		CDF:      workload.WebSearch(),
+		Load:     0.5,
+		MaxFlows: 1200,
+		Until:    8 * sim.Millisecond,
+		Drain:    20 * sim.Millisecond,
+		PFC:      true,
+		Seed:     1,
+	}
+	if quick {
+		s.MaxFlows = 200
+		s.Until = 2 * sim.Millisecond
+		s.Drain = 10 * sim.Millisecond
+	}
+	r := experiment.RunLoad(s)
+	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started, simTime: r.Elapsed}
+}
+
+// incast16 runs repeated 16-to-1 fan-in rounds of 100 KB per sender on
+// the §5.4 star fixture.
+func incast16(quick bool) outcome {
+	rounds := 8
+	if quick {
+		rounds = 2
+	}
+	sch := mustScheme("hpcc")
+	eng := sim.NewEngine()
+	hcfg := host.Config{CC: sch.Factory, INT: sch.INT, BaseRTT: 10 * sim.Microsecond, Seed: 1}
+	scfg := fabric.SwitchConfig{PFCEnabled: true, INTEnabled: sch.INT, Seed: 1}
+	nw := topology.Star(eng, 17, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
+
+	flows := 0
+	var startRound func()
+	startRound = func() {
+		if rounds == 0 {
+			return
+		}
+		rounds--
+		pending := 16
+		for s := 0; s < 16; s++ {
+			flows++
+			nw.StartFlow(s, 16, 100_000, func(*host.Flow) {
+				pending--
+				if pending == 0 {
+					startRound()
+				}
+			})
+		}
+	}
+	startRound()
+	eng.Run()
+	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, simTime: eng.Now()}
+}
+
+// parkingLot runs the §3.2 multi-bottleneck chain: one long flow across
+// every segment plus a local crossing flow per segment.
+func parkingLot(quick bool) outcome {
+	size := int64(4 << 20)
+	if quick {
+		size = 1 << 20
+	}
+	sch := mustScheme("hpcc")
+	eng := sim.NewEngine()
+	const segments = 4
+	topo := experiment.ParkingLotTopo(segments, 100*sim.Gbps)
+	hcfg := host.Config{CC: sch.Factory, INT: sch.INT, BaseRTT: topo.BaseRTT(), Seed: 1}
+	scfg := fabric.SwitchConfig{PFCEnabled: true, INTEnabled: sch.INT, Seed: 1}
+	nw := topo.Build(eng, hcfg, scfg)
+
+	// Host layout per topology.ParkingLot: 0/1 are the long pair, then
+	// (2+2i, 3+2i) are segment i's local sender/receiver.
+	flows := 1
+	nw.StartFlow(0, 1, 2*size, nil)
+	for i := 0; i < segments; i++ {
+		flows++
+		nw.StartFlow(2+2*i, 3+2*i, size, nil)
+	}
+	eng.Run()
+	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, simTime: eng.Now()}
+}
+
+func flowPackets(nw *topology.Network) uint64 {
+	var n uint64
+	for _, h := range nw.Hosts {
+		for _, f := range h.Flows() {
+			n += f.PacketsSent()
+		}
+	}
+	return n
+}
+
+func portPackets(nw *topology.Network) uint64 {
+	var n uint64
+	for _, h := range nw.Hosts {
+		for _, p := range h.Ports() {
+			n += p.PacketsSent()
+		}
+	}
+	for _, p := range nw.SwitchPorts() {
+		n += p.PacketsSent()
+	}
+	return n
+}
+
+func mustScheme(name string) experiment.Scheme {
+	s, err := experiment.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

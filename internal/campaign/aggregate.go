@@ -54,7 +54,10 @@ func aggregate(units []UnitResult) []*experiment.Table {
 						varies = true
 					}
 					v, err := strconv.ParseFloat(cell, 64)
-					if err != nil || math.IsInf(v, 0) {
+					// NaN parses fine but would poison the mean±CI into
+					// NaN±NaN; treat it like non-numeric so the cell
+					// falls back to replicate 0.
+					if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
 						numeric = false
 						break
 					}

@@ -147,6 +147,34 @@ func TestMultiSeedAggregation(t *testing.T) {
 	}
 }
 
+// Regression: a "NaN" cell parses as a float, but must be treated like
+// non-numeric — one bad replicate used to poison the whole cell into
+// "NaN±NaN".
+func TestAggregationRejectsNaNCells(t *testing.T) {
+	calls := 0
+	job := Job{
+		Name: "nan",
+		Run: func(seed int64) []*experiment.Table {
+			calls++ // safe: Parallel is 1 below
+			t := &experiment.Table{Title: "nan", Cols: []string{"k", "v"}}
+			v := fmt.Sprintf("%.3f", float64(calls))
+			if calls == 2 {
+				v = "NaN" // replicate 1 went bad
+			}
+			t.AddRow("r0", v)
+			return []*experiment.Table{t}
+		},
+	}
+	res := Run(Config{Parallel: 1, Seeds: 3, BaseSeed: 1}, []Job{job})
+	cell := res.Jobs[0].Tables[0].Rows[0][1]
+	if strings.Contains(cell, "NaN") {
+		t.Fatalf("NaN replicate poisoned the aggregate cell: %q", cell)
+	}
+	if cell != "1.000" {
+		t.Fatalf("cell = %q, want replicate 0's value 1.000", cell)
+	}
+}
+
 func TestAggregationSkipsMismatchedShapes(t *testing.T) {
 	calls := 0
 	job := Job{

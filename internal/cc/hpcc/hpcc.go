@@ -163,6 +163,15 @@ func (h *HPCC) OnAck(ev *cc.AckEvent) {
 		h.resetPath(ev)
 		return
 	}
+	if h.staleFeedback(ev) {
+		// The 12-bit pathID can collide across an ECMP reroute (XOR of
+		// switch IDs), leaving records from a different path in h.l. A
+		// raw curr-prev subtraction would underflow to an absurd txRate
+		// and slam the window to minWnd; treat the ACK as no-feedback
+		// and rebuild the records instead.
+		h.resetPath(ev)
+		return
+	}
 
 	switch h.cfg.Reaction {
 	case PerRTT:
@@ -210,6 +219,24 @@ func (h *HPCC) resetPath(ev *cc.AckEvent) {
 
 func (h *HPCC) record(ev *cc.AckEvent) {
 	h.nl = copy(h.l[:], ev.Hops)
+}
+
+// staleFeedback reports whether the ACK's INT records are impossible
+// successors of the stored ones: per-egress cumulative counters and
+// timestamps never decrease on an unchanged path (ACKs ride the control
+// class in FIFO order), so a regression means the stored records belong
+// to a different path despite matching pathID/nHops.
+func (h *HPCC) staleFeedback(ev *cc.AckEvent) bool {
+	for i := range ev.Hops {
+		if i >= h.nl || i >= packet.MaxHops {
+			break
+		}
+		curr, prev := &ev.Hops[i], &h.l[i]
+		if curr.TS < prev.TS || curr.TxBytes < prev.TxBytes || curr.RxBytes < prev.RxBytes {
+			return true
+		}
+	}
+	return false
 }
 
 // measureInflight is function MeasureInflight of Algorithm 1: estimate

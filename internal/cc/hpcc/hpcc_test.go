@@ -223,6 +223,38 @@ func TestPathChangeResets(t *testing.T) {
 	}
 }
 
+// Regression: an ECMP reroute whose 12-bit XOR pathID collides with the
+// previous path (and has the same hop count) slips past the path-change
+// check with counters from a different egress port. The raw uint64
+// TxBytes delta then underflows to a huge txRate and slams the window to
+// minWnd. Implausible feedback must instead be treated as no-feedback
+// (record-and-rebuild, like a detected path change).
+func TestPathIDCollisionDoesNotSlamWindow(t *testing.T) {
+	h := newHPCC(Config{})
+	// Establish a path whose egress counter is already large.
+	h.OnAck(ackWith(1000, 125_000, 0, 10_000_000, 0))
+	h.OnAck(ackWith(2000, 126_000, baseRTT, 10_125_000, 0))
+	w := h.WindowBytes()
+	if w < 0.5*bdp {
+		t.Fatalf("setup: healthy window expected, got %v", w)
+	}
+	// Rerouted path, colliding pathID (0x123 again), same hop count —
+	// but its egress port has transmitted far less: TxBytes regresses.
+	ev := ackWith(3000, 127_000, baseRTT+sim.Microsecond, 50_000, 0)
+	h.OnAck(ev)
+	if got := h.WindowBytes(); got < 0.5*bdp {
+		t.Fatalf("stale feedback slammed W to %v (minWnd %v); want it held near %v", got, h.minWnd, w)
+	}
+	if h.Utilization() != 0 {
+		t.Fatal("stale feedback should reset U like a path change")
+	}
+	// The next consistent ACK on the new path reacts normally.
+	h.OnAck(ackWith(4000, 128_000, 2*baseRTT+sim.Microsecond, 175_000, 0))
+	if got := h.WindowBytes(); got < 0.5*bdp {
+		t.Fatalf("post-rebuild reaction collapsed W to %v", got)
+	}
+}
+
 func TestRxRateVariantUsesRxBytes(t *testing.T) {
 	h := newHPCC(Config{UseRxRate: true})
 	if h.Name() != "HPCC-rxRate" {

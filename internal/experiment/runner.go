@@ -179,6 +179,13 @@ type LoadResult struct {
 	Started   int // flows started
 	Censored  int // flows still unfinished at the horizon
 	Elapsed   sim.Time
+
+	// DataPackets counts data packets emitted by every sender flow
+	// (retransmissions included); PortPackets counts packets serialized
+	// across every port in the fabric (hop count). Both feed the perf
+	// harness (cmd/hpccbench).
+	DataPackets uint64
+	PortPackets uint64
 }
 
 // ShortFlowP95Latency returns the 95th-percentile FCT (µs) of flows no
@@ -267,10 +274,17 @@ func RunLoad(s LoadScenario) *LoadResult {
 	for _, h := range nw.Hosts {
 		for _, f := range h.Flows() {
 			res.Started++
+			res.DataPackets += f.PacketsSent()
 			if !f.Done() {
 				res.Censored++
 			}
 		}
+		for _, p := range h.Ports() {
+			res.PortPackets += p.PacketsSent()
+		}
+	}
+	for _, p := range nw.SwitchPorts() {
+		res.PortPackets += p.PacketsSent()
 	}
 	return res
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestFifoBasics(t *testing.T) {
-	var f fifo
+	var f fifo[entry]
 	if !f.empty() || f.len() != 0 {
 		t.Fatal("new fifo not empty")
 	}
@@ -36,7 +36,7 @@ func TestFifoBasics(t *testing.T) {
 func TestFifoOrderProperty(t *testing.T) {
 	f := func(seed int64, ops uint16) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var q fifo
+		var q fifo[entry]
 		nextPush := uint64(1)
 		nextPop := uint64(1)
 		for i := 0; i < int(ops); i++ {
@@ -70,7 +70,7 @@ func TestFifoOrderProperty(t *testing.T) {
 // Property: compaction never loses or duplicates entries even under
 // long runs that repeatedly cross the compaction threshold.
 func TestFifoCompactionProperty(t *testing.T) {
-	var q fifo
+	var q fifo[entry]
 	id := uint64(0)
 	popped := uint64(0)
 	// Sawtooth: grow to 400, drain to 100, repeatedly.

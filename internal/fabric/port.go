@@ -10,17 +10,25 @@ type entry struct {
 	ingress int // arriving port index at the owner, -1 if locally generated
 }
 
-// fifo is an amortized O(1) queue of entries.
-type fifo struct {
-	buf  []entry
+// wireEntry is one packet in flight on a link: the frame plus its
+// (fully deterministic) arrival instant at the far end.
+type wireEntry struct {
+	p  *packet.Packet
+	at sim.Time
+}
+
+// fifo is an amortized O(1) queue.
+type fifo[T any] struct {
+	buf  []T
 	head int
 }
 
-func (f *fifo) push(e entry) { f.buf = append(f.buf, e) }
+func (f *fifo[T]) push(e T) { f.buf = append(f.buf, e) }
 
-func (f *fifo) pop() entry {
+func (f *fifo[T]) pop() T {
+	var zero T
 	e := f.buf[f.head]
-	f.buf[f.head] = entry{}
+	f.buf[f.head] = zero
 	f.head++
 	if f.head == len(f.buf) {
 		f.buf = f.buf[:0]
@@ -28,7 +36,7 @@ func (f *fifo) pop() entry {
 	} else if f.head > 256 && f.head*2 >= len(f.buf) {
 		n := copy(f.buf, f.buf[f.head:])
 		for i := n; i < len(f.buf); i++ {
-			f.buf[i] = entry{}
+			f.buf[i] = zero
 		}
 		f.buf = f.buf[:n]
 		f.head = 0
@@ -36,9 +44,11 @@ func (f *fifo) pop() entry {
 	return e
 }
 
-func (f *fifo) empty() bool { return f.head == len(f.buf) }
+func (f *fifo[T]) peek() T { return f.buf[f.head] }
 
-func (f *fifo) len() int { return len(f.buf) - f.head }
+func (f *fifo[T]) empty() bool { return f.head == len(f.buf) }
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
 
 // Port is one direction of a duplex link: the transmitter owned by a
 // node. It serializes packets from strict-priority queues onto the link,
@@ -57,10 +67,21 @@ type Port struct {
 	rate  sim.Rate
 	delay sim.Time
 
-	queues [NumPrio]fifo
+	queues [NumPrio]fifo[entry]
 	qBytes [NumPrio]int64
 	paused [NumPrio]bool
 	busy   bool
+
+	// wire holds packets whose serialization finished (or is finishing)
+	// but which have not yet propagated to the peer. The link delay is
+	// constant, so arrivals happen in push order: one scheduled
+	// head-of-wire event suffices, re-armed as packets drain. Combined
+	// with the reusable tx-complete closure below, the per-packet hot
+	// path schedules no fresh closures at all.
+	wire      fifo[wireEntry]
+	wireArmed bool
+	deliverFn func()
+	txDoneFn  func()
 
 	txBytes uint64          // cumulative bytes fully handed to the serializer
 	rxQ     [NumPrio]uint64 // cumulative bytes enqueued, per priority (INT rxRate ablation)
@@ -74,7 +95,13 @@ type Port struct {
 }
 
 func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Time) *Port {
-	return &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
+	pt := &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
+	pt.txDoneFn = func() {
+		pt.busy = false
+		pt.kick()
+	}
+	pt.deliverFn = pt.deliver
+	return pt
 }
 
 // Index returns the port's position in its owner's port list.
@@ -194,12 +221,24 @@ func (pt *Port) kick() {
 	pt.owner.OnDequeue(e.p, e.ingress, pt)
 
 	txTime := pt.rate.TxTime(int(e.p.Size))
-	p := e.p
-	pt.eng.After(txTime, func() {
-		pt.busy = false
-		pt.kick()
-	})
-	pt.eng.After(txTime+pt.delay, func() {
-		pt.peer.HandleArrival(p, pt.peerPort)
-	})
+	pt.eng.After(txTime, pt.txDoneFn)
+	pt.wire.push(wireEntry{e.p, pt.eng.Now() + txTime + pt.delay})
+	if !pt.wireArmed {
+		pt.wireArmed = true
+		pt.eng.At(pt.wire.peek().at, pt.deliverFn)
+	}
+}
+
+// deliver fires the head-of-wire packet into the peer and re-arms the
+// single wire event for the next in-flight packet, if any. Serialization
+// intervals never overlap and the propagation delay is constant, so wire
+// arrival times are nondecreasing in push order.
+func (pt *Port) deliver() {
+	e := pt.wire.pop()
+	if pt.wire.empty() {
+		pt.wireArmed = false
+	} else {
+		pt.eng.At(pt.wire.peek().at, pt.deliverFn)
+	}
+	pt.peer.HandleArrival(e.p, pt.peerPort)
 }

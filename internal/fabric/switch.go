@@ -45,6 +45,11 @@ type SwitchConfig struct {
 
 	// Seed feeds the WRED coin flips.
 	Seed int64
+
+	// Pool recycles packet structs consumed at this switch (drops, PFC
+	// frames). Topology builders share one pool per network; nil gets a
+	// private pool.
+	Pool *packet.Pool
 }
 
 // Normalize fills zero fields with the paper's defaults.
@@ -72,10 +77,11 @@ func (c *SwitchConfig) Normalize() {
 // Switch is a shared-buffer output-queued switch with ECMP routing,
 // optional PFC, WRED/ECN and INT stamping.
 type Switch struct {
-	id  NodeID
-	eng *sim.Engine
-	cfg SwitchConfig
-	rng *rand.Rand
+	id   NodeID
+	eng  *sim.Engine
+	cfg  SwitchConfig
+	rng  *rand.Rand
+	pool *packet.Pool
 
 	ports  []*Port
 	routes map[NodeID][]int // destination host -> candidate egress port indices
@@ -97,11 +103,16 @@ type Switch struct {
 // AttachPort (typically via topology builders).
 func NewSwitch(eng *sim.Engine, id NodeID, cfg SwitchConfig) *Switch {
 	cfg.Normalize()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = packet.NewPool()
+	}
 	return &Switch{
 		id:     id,
 		eng:    eng,
 		cfg:    cfg,
 		rng:    sim.NewRNG(cfg.Seed, fmt.Sprintf("switch-%d-wred", id)),
+		pool:   pool,
 		routes: make(map[NodeID][]int),
 	}
 }
@@ -170,6 +181,7 @@ func (s *Switch) HandleArrival(p *packet.Packet, in *Port) {
 		// A pause frame from the downstream neighbor: stop/resume our
 		// transmitter on that link.
 		in.SetPaused(p.PFCPrio, p.PFCPause)
+		s.pool.Put(p)
 		return
 	}
 
@@ -177,6 +189,7 @@ func (s *Switch) HandleArrival(p *packet.Packet, in *Port) {
 	if !ok || len(cand) == 0 {
 		s.routeErrsr++
 		s.drops++
+		s.pool.Put(p)
 		return
 	}
 	egIdx := cand[0]
@@ -199,12 +212,14 @@ func (s *Switch) HandleArrival(p *packet.Packet, in *Port) {
 		limit := int64(s.cfg.LossyEgressAlpha * float64(s.cfg.BufferBytes-s.used))
 		if eg.QueueBytes(prio)+size > limit {
 			s.drops++
+			s.pool.Put(p)
 			return
 		}
 	}
 	// Shared buffer tail drop.
 	if s.used+size > s.cfg.BufferBytes {
 		s.drops++
+		s.pool.Put(p)
 		return
 	}
 	s.used += size
@@ -252,13 +267,12 @@ func (s *Switch) pfcThreshold() int64 {
 }
 
 func (s *Switch) sendPFC(via *Port, prio uint8, pause bool) {
-	f := &packet.Packet{
-		Type:     packet.PFC,
-		Prio:     PrioCtrl,
-		Size:     packet.CtrlBytes,
-		PFCPrio:  prio,
-		PFCPause: pause,
-	}
+	f := s.pool.Get()
+	f.Type = packet.PFC
+	f.Prio = PrioCtrl
+	f.Size = packet.CtrlBytes
+	f.PFCPrio = prio
+	f.PFCPause = pause
 	s.pfcSent++
 	via.Enqueue(f, -1)
 }

@@ -1,0 +1,58 @@
+package host
+
+import (
+	"testing"
+
+	"hpcc/internal/fabric"
+	"hpcc/internal/sim"
+)
+
+// The tentpole guarantee end to end: in steady state, a full HPCC flow
+// — data packets through an INT switch, in-place ACK conversion at the
+// receiver, window/rate reaction at the sender — costs well under one
+// heap allocation per simulated packet. Before the pooled-packet /
+// single-event-wire refactor this path allocated ≈ 8-20 per packet
+// (packet structs, ACK structs with their 320-byte INT copy, two event
+// closures per hop, escaping AckEvents); the test enforces far more
+// than the required 80% reduction and pins the win against regression.
+func TestSteadyStateAllocsPerPacketUnderBudget(t *testing.T) {
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	const flowBytes = 200_000 // 200 packets per run
+	id := int32(0)
+	run := func() {
+		id++
+		nw.hosts[0].StartFlow(id, nw.hosts[1].ID(), flowBytes, 0, nil)
+		nw.eng.Run()
+	}
+	// Warm pools, FIFOs and the event heap.
+	for i := 0; i < 10; i++ {
+		run()
+	}
+
+	avg := testing.AllocsPerRun(30, run)
+	pktsPerRun := float64(flowBytes) / 1000 // MTU chunks
+	perPkt := avg / pktsPerRun
+	// Budget: per-flow setup (Flow struct, CC instance, timer closures,
+	// receiver state, map growth) amortizes to < 0.3 allocs per packet
+	// on a 200-packet flow; the per-packet path itself must be free.
+	if perPkt > 0.3 {
+		t.Fatalf("steady-state host path allocates %.3f allocs/packet (%.1f/flow), want < 0.3", perPkt, avg)
+	}
+}
+
+// The receive/ACK side alone: a paced long flow must keep allocations
+// flat while ACKs stream back (reusable AckEvent, pooled ACK release).
+func TestLongFlowMidstreamAllocFree(t *testing.T) {
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	nw.hosts[0].StartFlow(1, nw.hosts[1].ID(), 1<<40, 0, nil) // effectively infinite
+	// Past slow start: window and pacer in steady oscillation.
+	nw.eng.RunUntil(2 * sim.Millisecond)
+
+	avg := testing.AllocsPerRun(20, func() {
+		nw.eng.RunUntil(nw.eng.Now() + 100*sim.Microsecond)
+	})
+	// ≈ 1100 data packets + 1100 ACKs per 100µs slice at ~95 Gbps.
+	if avg > 16 {
+		t.Fatalf("midstream slice allocates %.1f allocs per 100µs (≈2200 packets), want ≈ 0", avg)
+	}
+}

@@ -100,6 +100,35 @@ func (c *countingNode) HandleArrival(p *packet.Packet, in *fabric.Port) {
 	}
 }
 
+// Regression: a duplicate data packet arriving after the flow's
+// receiver state was freed (an RTO retransmission racing the final ACK)
+// must not resurrect — and then leak — a recvState, nor emit a spurious
+// NACK.
+func TestStragglerAfterFlowEndDoesNotResurrectRecvState(t *testing.T) {
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{INTEnabled: true}, line100, sim.Microsecond)
+	f := nw.start(0, 1, 10_000, nil)
+	nw.eng.Run()
+	if !f.Done() {
+		t.Fatal("setup: flow unfinished")
+	}
+	recv := nw.hosts[1]
+	if recv.recv[f.ID] != nil {
+		t.Fatal("setup: receiver state not freed at flow end")
+	}
+	// A straggler duplicate of the flow's last chunk shows up late.
+	straggler := &packet.Packet{
+		Type: packet.Data, FlowID: f.ID, Src: int32(nw.hosts[0].ID()), Dst: int32(recv.ID()),
+		Prio: fabric.PrioData, Size: 1064, Seq: 9_000, PayloadLen: 1000, FlowEnd: true,
+	}
+	recv.handleData(straggler, recv.Ports()[0])
+	nw.eng.Run()
+	if recv.recv[f.ID] != nil {
+		t.Fatalf("straggler resurrected receiver state: %+v", recv.recv[f.ID])
+	}
+	// Far beyond the completed-flow ring, resurrection is allowed (and
+	// harmless); the ring only needs to cover in-flight stragglers.
+}
+
 func TestTailLossRecoveredByRTO(t *testing.T) {
 	// Drop the very last packet of a flow once: only the RTO can
 	// recover it (no later packet triggers a NACK). Use a dropping

@@ -32,6 +32,14 @@ type Flow struct {
 	rtoEv          *sim.Event
 	lastProgress   sim.Time
 
+	// sendFn/rtoFn are the flow's timer callbacks, built once at start
+	// so re-arming the pacer or the RTO never allocates a closure.
+	sendFn, rtoFn func()
+	// ackEv is the reusable event passed to the CC algorithm on every
+	// ACK (algorithms treat it as transient; HPCC copies the hop
+	// records it keeps).
+	ackEv cc.AckEvent
+
 	// IRN state.
 	sacked      map[int64]int32 // out-of-order acked chunks: seq -> len
 	sackedBytes int64
@@ -153,18 +161,20 @@ func (f *Flow) emit(now sim.Time, seq int64, payload int32, isRtx bool) {
 	if f.host.cfg.INT {
 		size += packet.INTOverhead
 	}
-	p := &packet.Packet{
-		ID:         pktID.Add(1),
-		Type:       packet.Data,
-		FlowID:     f.ID,
-		Src:        int32(f.host.id),
-		Dst:        int32(f.dst),
-		Prio:       fabric.PrioData,
-		Size:       size,
-		Seq:        seq,
-		PayloadLen: payload,
-		SendTS:     now,
-	}
+	p := f.host.pool.Get()
+	p.ID = pktID.Add(1)
+	p.Type = packet.Data
+	p.FlowID = f.ID
+	p.Src = int32(f.host.id)
+	p.Dst = int32(f.dst)
+	p.Prio = fabric.PrioData
+	p.Size = size
+	p.Seq = seq
+	p.PayloadLen = payload
+	p.SendTS = now
+	// Mark the chunk carrying the flow's last byte so the receiver can
+	// free its reassembly state once everything before it landed.
+	p.FlowEnd = seq+int64(payload) >= f.size
 	f.port.Enqueue(p, -1)
 	f.pktsSent++
 	if isRtx {
@@ -189,14 +199,21 @@ func (f *Flow) emit(now sim.Time, seq int64, payload int32, isRtx bool) {
 	f.nextSendAt = base + gap
 }
 
+// initTimers builds the flow's reusable timer callbacks (one-time
+// allocations; every later re-arm is closure-free).
+func (f *Flow) initTimers() {
+	f.sendFn = func() {
+		f.sendEv = nil
+		f.trySend()
+	}
+	f.rtoFn = f.onRTO
+}
+
 func (f *Flow) armSendTimer() {
 	if f.sendEv != nil {
 		f.host.eng.Cancel(f.sendEv)
 	}
-	f.sendEv = f.host.eng.At(f.nextSendAt, func() {
-		f.sendEv = nil
-		f.trySend()
-	})
+	f.sendEv = f.host.eng.At(f.nextSendAt, f.sendFn)
 }
 
 // handleAck processes a cumulative (and, under IRN, selective) ACK.
@@ -215,17 +232,17 @@ func (f *Flow) handleAck(p *packet.Packet) {
 		f.irnOnAck(p, now)
 	}
 
-	ev := cc.AckEvent{
-		Now:        now,
-		RTT:        now - p.EchoTS,
-		AckSeq:     p.AckSeq,
-		SndNxt:     f.sndNxt,
-		AckedBytes: newly,
-		ECE:        p.ECE,
-		Hops:       p.INT.Records(),
-		PathID:     p.INT.PathID,
-	}
-	f.alg.OnAck(&ev)
+	ev := &f.ackEv
+	ev.Now = now
+	ev.RTT = now - p.EchoTS
+	ev.AckSeq = p.AckSeq
+	ev.SndNxt = f.sndNxt
+	ev.AckedBytes = newly
+	ev.ECE = p.ECE
+	ev.Hops = p.INT.Records()
+	ev.PathID = p.INT.PathID
+	f.alg.OnAck(ev)
+	ev.Hops = nil // p returns to the pool after this ACK is consumed
 
 	if newly > 0 && f.OnProgress != nil {
 		f.OnProgress(f, newly)
@@ -291,31 +308,34 @@ func (f *Flow) handleNack(p *packet.Packet) {
 
 // armRTO arms the retransmission-timeout backstop.
 func (f *Flow) armRTO() {
-	f.rtoEv = f.host.eng.After(f.host.cfg.RTO, func() {
-		f.rtoEv = nil
-		if f.done || !f.alive {
-			return
-		}
-		now := f.host.eng.Now()
-		if f.inflight() > 0 && now-f.lastProgress >= f.host.cfg.RTO {
-			// Timed out: rewind (GBN) or requeue the unacked head (IRN).
-			if f.host.cfg.FlowCtl == GoBackN {
-				f.sndNxt = f.sndUna
-				f.pktsRtx++ // count the rewind episode
-			} else {
-				l := f.size - f.sndUna
-				if l > int64(f.host.cfg.MTU) {
-					l = int64(f.host.cfg.MTU)
-				}
-				if l > 0 && f.sndUna < f.sndNxt {
-					f.rtx[f.sndUna] = int32(l)
-				}
+	f.rtoEv = f.host.eng.After(f.host.cfg.RTO, f.rtoFn)
+}
+
+// onRTO fires the retransmission-timeout backstop and re-arms it.
+func (f *Flow) onRTO() {
+	f.rtoEv = nil
+	if f.done || !f.alive {
+		return
+	}
+	now := f.host.eng.Now()
+	if f.inflight() > 0 && now-f.lastProgress >= f.host.cfg.RTO {
+		// Timed out: rewind (GBN) or requeue the unacked head (IRN).
+		if f.host.cfg.FlowCtl == GoBackN {
+			f.sndNxt = f.sndUna
+			f.pktsRtx++ // count the rewind episode
+		} else {
+			l := f.size - f.sndUna
+			if l > int64(f.host.cfg.MTU) {
+				l = int64(f.host.cfg.MTU)
 			}
-			f.lastProgress = now
-			f.trySend()
+			if l > 0 && f.sndUna < f.sndNxt {
+				f.rtx[f.sndUna] = int32(l)
+			}
 		}
-		f.armRTO()
-	})
+		f.lastProgress = now
+		f.trySend()
+	}
+	f.armRTO()
 }
 
 // Abort stops the flow immediately without firing onDone — used by
@@ -346,6 +366,10 @@ func (f *Flow) teardown(now sim.Time) {
 		f.host.eng.Cancel(f.rtoEv)
 		f.rtoEv = nil
 	}
+	// Drop the IRN recovery maps: every handler that touches them is
+	// gated on the flow being live.
+	f.sacked = nil
+	f.rtx = nil
 	if f.admitted {
 		f.admitted = false
 		f.host.flowFinished()

@@ -60,6 +60,10 @@ type Config struct {
 	SchedulerEngines int
 	// Seed feeds per-flow deterministic randomness.
 	Seed int64
+	// Pool recycles packet structs across the host's send and receive
+	// paths. Topology builders share one pool per network; nil gets a
+	// private pool.
+	Pool *packet.Pool
 }
 
 // FlowsPerEngine is the per-clock-engine concurrent-flow capacity of
@@ -86,6 +90,7 @@ type Host struct {
 	id    fabric.NodeID
 	eng   *sim.Engine
 	cfg   Config
+	pool  *packet.Pool
 	ports []*fabric.Port
 	flows map[int32]*Flow
 	recv  map[int32]*recvState
@@ -97,6 +102,73 @@ type Host struct {
 	// the clock-engine capacity wait here in FIFO order.
 	activeFlows int
 	waiting     []*Flow
+
+	// wrapFree recycles the cc.Env.Schedule trampolines so timer-driven
+	// CC schemes (DCQCN's per-flow clocks) do not allocate per tick.
+	wrapFree []*schedWrap
+
+	// doneRing remembers the most recently completed inbound flows so a
+	// straggler duplicate (e.g. an RTO retransmission that was still in
+	// flight when the original copy finished the flow) is dropped
+	// instead of recreating — and then leaking — a recvState. Flow IDs
+	// are never reused network-wide, so a hit always means straggler.
+	doneRing [doneRingSize]int32
+	doneHead int
+}
+
+// doneRingSize bounds the completed-inbound-flow memory (power of two).
+const doneRingSize = 64
+
+func (h *Host) noteRecvDone(flowID int32) {
+	h.doneRing[h.doneHead&(doneRingSize-1)] = flowID
+	h.doneHead++
+}
+
+// recentlyRecvDone reports whether flowID completed within the last
+// doneRingSize inbound completions. Only consulted on the per-flow slow
+// path (no receiver state yet). Flow ID 0 is indistinguishable from an
+// empty slot and is never treated as recently done.
+func (h *Host) recentlyRecvDone(flowID int32) bool {
+	if flowID == 0 {
+		return false
+	}
+	for _, id := range h.doneRing {
+		if id == flowID {
+			return true
+		}
+	}
+	return false
+}
+
+// schedWrap adapts one cc.Env.Schedule call onto the engine: it guards
+// the callback behind the flow's liveness and follows it with trySend,
+// like the old per-call closure did, but the wrap (and its bound run
+// closure) returns to the host's free list on firing.
+type schedWrap struct {
+	f   *Flow
+	fn  func()
+	run func()
+}
+
+func (h *Host) scheduleCC(f *Flow, d sim.Time, fn func()) {
+	var w *schedWrap
+	if n := len(h.wrapFree); n > 0 {
+		w = h.wrapFree[n-1]
+		h.wrapFree = h.wrapFree[:n-1]
+	} else {
+		w = &schedWrap{}
+		w.run = func() {
+			f, fn := w.f, w.fn
+			w.f, w.fn = nil, nil
+			h.wrapFree = append(h.wrapFree, w)
+			if f.alive {
+				fn()
+				f.trySend()
+			}
+		}
+	}
+	w.f, w.fn = f, fn
+	h.eng.After(d, w.run)
 }
 
 type pendingRead struct {
@@ -108,10 +180,15 @@ type pendingRead struct {
 // builders) with AttachPort.
 func New(eng *sim.Engine, id fabric.NodeID, cfg Config) *Host {
 	cfg.normalize()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = packet.NewPool()
+	}
 	return &Host{
 		id:    id,
 		eng:   eng,
 		cfg:   cfg,
+		pool:  pool,
 		flows: make(map[int32]*Flow),
 		recv:  make(map[int32]*recvState),
 		reads: make(map[int32]*pendingRead),
@@ -139,30 +216,38 @@ func (h *Host) Ports() []*fabric.Port { return h.ports }
 // OnDequeue implements fabric.Node; hosts need no dequeue-time hooks.
 func (h *Host) OnDequeue(p *packet.Packet, ingress int, from *fabric.Port) {}
 
-// HandleArrival implements fabric.Node: dispatch by frame type.
+// HandleArrival implements fabric.Node: dispatch by frame type. Every
+// branch but Data terminally consumes the frame here, so it returns to
+// the pool; a data packet is either recycled in place as its own ACK or
+// released inside handleData.
 func (h *Host) HandleArrival(p *packet.Packet, in *fabric.Port) {
 	switch p.Type {
 	case packet.PFC:
 		in.SetPaused(p.PFCPrio, p.PFCPause)
+		h.pool.Put(p)
 	case packet.Data:
 		h.handleData(p, in)
 	case packet.Ack:
 		if f := h.flows[p.FlowID]; f != nil {
 			f.handleAck(p)
 		}
+		h.pool.Put(p)
 	case packet.Nack:
 		if f := h.flows[p.FlowID]; f != nil {
 			f.handleNack(p)
 		}
+		h.pool.Put(p)
 	case packet.CNP:
 		if f := h.flows[p.FlowID]; f != nil && !f.done {
 			f.alg.OnCNP(h.eng.Now())
 			f.trySend()
 		}
+		h.pool.Put(p)
 	case packet.ReadReq:
 		// RDMA READ responder: stream the requested bytes back as a
 		// plain data flow owned by this host.
 		h.StartFlow(p.FlowID, fabric.NodeID(p.Src), p.Seq, int(p.FlowID)%len(h.ports), nil)
+		h.pool.Put(p)
 	default:
 		panic(fmt.Sprintf("host: unknown packet type %v", p.Type))
 	}
@@ -194,17 +279,11 @@ func (h *Host) StartFlow(id int32, dst fabric.NodeID, size int64, portIdx int, o
 		env := cc.Env{LineRate: port.Rate(), BaseRTT: h.cfg.BaseRTT}
 		f.irnCap = env.BDP()
 	}
+	f.initTimers()
 	f.alg = h.cfg.CC()
 	f.alg.Init(cc.Env{
-		Now: h.eng.Now,
-		Schedule: func(d sim.Time, fn func()) {
-			h.eng.After(d, func() {
-				if f.alive {
-					fn()
-					f.trySend()
-				}
-			})
-		},
+		Now:      h.eng.Now,
+		Schedule: func(d sim.Time, fn func()) { h.scheduleCC(f, d, fn) },
 		LineRate: port.Rate(),
 		BaseRTT:  h.cfg.BaseRTT,
 		MTU:      h.cfg.MTU,
@@ -265,16 +344,15 @@ func (h *Host) flowFinished() {
 // bytes have arrived in order. The request rides the control class.
 func (h *Host) Read(id int32, responder fabric.NodeID, size int64, portIdx int, onDone func()) {
 	h.reads[id] = &pendingRead{size: size, onDone: onDone}
-	req := &packet.Packet{
-		ID:     pktID.Add(1),
-		Type:   packet.ReadReq,
-		FlowID: id,
-		Src:    int32(h.id),
-		Dst:    int32(responder),
-		Prio:   fabric.PrioCtrl,
-		Size:   packet.CtrlBytes,
-		Seq:    size,
-	}
+	req := h.pool.Get()
+	req.ID = pktID.Add(1)
+	req.Type = packet.ReadReq
+	req.FlowID = id
+	req.Src = int32(h.id)
+	req.Dst = int32(responder)
+	req.Prio = fabric.PrioCtrl
+	req.Size = packet.CtrlBytes
+	req.Seq = size
 	h.ports[portIdx].Enqueue(req, -1)
 }
 

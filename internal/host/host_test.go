@@ -212,8 +212,12 @@ func TestGoBackNRecovery(t *testing.T) {
 	if f.Retransmits() == 0 {
 		t.Fatal("no retransmissions recorded")
 	}
-	if got := b.recv[1].rcvNxt; got != 2_000_000 {
-		t.Fatalf("receiver got %d bytes in order, want 2000000", got)
+	if f.Acked() != 2_000_000 {
+		t.Fatalf("sender saw %d bytes acked, want 2000000", f.Acked())
+	}
+	// Delivery of the final byte frees the receiver's reassembly state.
+	if b.recv[1] != nil {
+		t.Fatalf("receiver state not freed at flow end: %+v", b.recv[1])
 	}
 }
 
@@ -242,8 +246,11 @@ func TestIRNRecovery(t *testing.T) {
 	if f.Retransmits() == 0 {
 		t.Fatal("no selective retransmissions recorded")
 	}
-	if got := b.recv[1].rcvNxt; got != 2_000_000 {
-		t.Fatalf("receiver got %d bytes in order, want 2000000", got)
+	if f.Acked() != 2_000_000 {
+		t.Fatalf("sender saw %d bytes acked, want 2000000", f.Acked())
+	}
+	if b.recv[1] != nil {
+		t.Fatalf("receiver state not freed at flow end: %+v", b.recv[1])
 	}
 }
 

@@ -22,8 +22,12 @@ func TestRDMARead(t *testing.T) {
 	if f == nil || !f.Done() {
 		t.Fatal("responder flow missing or unfinished")
 	}
-	if got := nw.hosts[0].recv[1].rcvNxt; got != 500_000 {
-		t.Fatalf("requester received %d bytes, want 500000", got)
+	if got := f.Acked(); got != 500_000 {
+		t.Fatalf("responder streamed %d acked bytes, want 500000", got)
+	}
+	// The requester's reassembly state is freed once the stream lands.
+	if nw.hosts[0].recv[1] != nil {
+		t.Fatal("requester receiver state not freed after READ completion")
 	}
 }
 

@@ -8,27 +8,46 @@ import (
 
 // recvState is the per-flow receiver: cumulative reassembly plus the
 // NACK (go-back-N) or out-of-order buffer (IRN) machinery, and DCQCN's
-// CNP rate limiter.
+// CNP rate limiter. It is freed as soon as the flow's final byte has
+// been delivered in order (the sender marks the last chunk with
+// FlowEnd), so long campaigns do not accumulate dead receiver state.
 type recvState struct {
 	rcvNxt   int64
 	nackSent bool            // GBN: one NACK per out-of-sequence episode
 	ooo      map[int64]int32 // IRN: buffered out-of-order chunks
 	lastCNP  sim.Time
 	hasCNP   bool
+	endSeq   int64 // flow length, learned from the FlowEnd marker
+	hasEnd   bool
 }
 
 // handleData runs the receiver side: reassemble, acknowledge, and
-// generate CNPs on ECN marks.
+// generate CNPs on ECN marks. The data packet is terminally consumed
+// here: it is either converted in place into its own ACK (which also
+// reuses the INT stack without copying it) or returned to the pool.
 func (h *Host) handleData(p *packet.Packet, in *fabric.Port) {
-	rs := h.recv[p.FlowID]
+	flowID := p.FlowID
+	rs := h.recv[flowID]
 	if rs == nil {
+		if h.recentlyRecvDone(flowID) {
+			// Straggler duplicate of a flow whose reassembly state was
+			// already freed: the sender has (or is about to get) the
+			// final cumulative ACK, so drop it rather than recreate —
+			// and leak — receiver state or emit a spurious NACK.
+			h.pool.Put(p)
+			return
+		}
 		rs = &recvState{}
 		if h.cfg.FlowCtl == IRN {
 			rs.ooo = make(map[int64]int32)
 		}
-		h.recv[p.FlowID] = rs
+		h.recv[flowID] = rs
 	}
 	now := h.eng.Now()
+	if p.FlowEnd {
+		rs.hasEnd = true
+		rs.endSeq = p.Seq + int64(p.PayloadLen)
+	}
 
 	// DCQCN CNP generation: at most one per CNPInterval per flow.
 	if p.ECNCE && h.cfg.CNPInterval >= 0 {
@@ -46,13 +65,14 @@ func (h *Host) handleData(p *packet.Packet, in *fabric.Port) {
 			rs.rcvNxt += int64(p.PayloadLen)
 			rs.nackSent = false
 			h.sendAck(in, p, rs.rcvNxt)
-			h.checkReadDone(p.FlowID, rs)
+			h.checkReadDone(flowID, rs)
 		case p.Seq > rs.rcvNxt:
 			// Out of sequence: NACK once per episode, drop payload.
 			if !rs.nackSent {
 				rs.nackSent = true
 				h.sendCtrl(in, p, packet.Nack, rs.rcvNxt, p.Seq)
 			}
+			h.pool.Put(p)
 		default:
 			// Duplicate of already-delivered data: re-ACK to resync.
 			h.sendAck(in, p, rs.rcvNxt)
@@ -71,7 +91,7 @@ func (h *Host) handleData(p *packet.Packet, in *fabric.Port) {
 				rs.rcvNxt += int64(l)
 			}
 			h.sendAck(in, p, rs.rcvNxt)
-			h.checkReadDone(p.FlowID, rs)
+			h.checkReadDone(flowID, rs)
 		case p.Seq > rs.rcvNxt:
 			if _, dup := rs.ooo[p.Seq]; !dup {
 				rs.ooo[p.Seq] = p.PayloadLen
@@ -81,6 +101,19 @@ func (h *Host) handleData(p *packet.Packet, in *fabric.Port) {
 		default:
 			h.sendAck(in, p, rs.rcvNxt)
 		}
+	}
+
+	// End of flow: every byte up to the FlowEnd marker arrived in
+	// order, so the reassembly state is dead. The flow ID goes into the
+	// completed ring so straggler duplicates still in flight are
+	// dropped above instead of resurrecting state; even past the ring's
+	// horizon a resurrected episode is harmless for correctness — its
+	// NACK/re-ACK lands on a sender flow that is already done (control
+	// frames are never dropped and stay FIFO on the flow's path, so the
+	// final cumulative ACK gets there first) and is ignored.
+	if rs.hasEnd && rs.rcvNxt >= rs.endSeq {
+		delete(h.recv, flowID)
+		h.noteRecvDone(flowID)
 	}
 }
 
@@ -97,44 +130,40 @@ func (h *Host) checkReadDone(flowID int32, rs *recvState) {
 	}
 }
 
-// sendAck emits an ACK for data packet p, echoing its timestamp, ECN
-// mark and INT stack (§3.1: "the receiver copies all the meta-data
-// recorded by the switches to the ACK").
+// sendAck converts data packet p into its own ACK in place — flipping
+// src/dst, echoing its timestamp, ECN mark and INT stack (§3.1: "the
+// receiver copies all the meta-data recorded by the switches to the
+// ACK") — and transmits it. Reusing the struct avoids both the ACK
+// allocation and a 320-byte INT copy per data packet.
 func (h *Host) sendAck(via *fabric.Port, p *packet.Packet, cumSeq int64) {
 	size := int32(packet.AckBytes)
 	if h.cfg.INT {
 		size += packet.INTOverhead
 	}
-	ack := &packet.Packet{
-		ID:      pktID.Add(1),
-		Type:    packet.Ack,
-		FlowID:  p.FlowID,
-		Src:     p.Dst,
-		Dst:     p.Src,
-		Prio:    fabric.PrioCtrl,
-		Size:    size,
-		AckSeq:  cumSeq,
-		DataSeq: p.Seq,
-		EchoTS:  p.SendTS,
-		ECE:     p.ECNCE,
-		INT:     p.INT,
-	}
-	via.Enqueue(ack, -1)
+	p.ID = pktID.Add(1)
+	p.Type = packet.Ack
+	p.Src, p.Dst = p.Dst, p.Src
+	p.Prio = fabric.PrioCtrl
+	p.Size = size
+	p.AckSeq = cumSeq
+	p.DataSeq = p.Seq
+	p.EchoTS = p.SendTS
+	p.ECE = p.ECNCE
+	via.Enqueue(p, -1)
 }
 
 // sendCtrl emits a NACK or CNP toward the sender of p.
 func (h *Host) sendCtrl(via *fabric.Port, p *packet.Packet, typ packet.Type, expSeq, gotSeq int64) {
-	ctrl := &packet.Packet{
-		ID:      pktID.Add(1),
-		Type:    typ,
-		FlowID:  p.FlowID,
-		Src:     p.Dst,
-		Dst:     p.Src,
-		Prio:    fabric.PrioCtrl,
-		Size:    packet.CtrlBytes,
-		AckSeq:  expSeq,
-		DataSeq: gotSeq,
-		EchoTS:  p.SendTS,
-	}
+	ctrl := h.pool.Get()
+	ctrl.ID = pktID.Add(1)
+	ctrl.Type = typ
+	ctrl.FlowID = p.FlowID
+	ctrl.Src = p.Dst
+	ctrl.Dst = p.Src
+	ctrl.Prio = fabric.PrioCtrl
+	ctrl.Size = packet.CtrlBytes
+	ctrl.AckSeq = expSeq
+	ctrl.DataSeq = gotSeq
+	ctrl.EchoTS = p.SendTS
 	via.Enqueue(ctrl, -1)
 }

@@ -110,9 +110,10 @@ func (h *INTHeader) Records() []Hop {
 }
 
 // Packet is a simulated frame. One struct covers every frame type; the
-// per-type fields are documented below. Packets are heap-allocated and
-// garbage-collected; the simulator never aliases a packet after handing
-// it to the next node.
+// per-type fields are documented below. Packets come from per-network
+// free-list Pools and are recycled at their terminal consumption points
+// (ACK processing, switch drops, PFC consumption); the simulator never
+// aliases a packet after handing it to the next node.
 type Packet struct {
 	ID   uint64 // globally unique, for tracing
 	Type Type
@@ -125,9 +126,13 @@ type Packet struct {
 	// Data packets.
 	Seq        int64 // byte offset of first payload byte
 	PayloadLen int32
-	ECNCE      bool     // congestion-experienced mark set by switches
-	SendTS     sim.Time // sender timestamp, echoed in the ACK for RTT
-	INT        INTHeader
+	// FlowEnd marks the chunk carrying the flow's final byte, so the
+	// receiver can free its per-flow reassembly state once everything
+	// up to it has been delivered in order.
+	FlowEnd bool
+	ECNCE   bool     // congestion-experienced mark set by switches
+	SendTS  sim.Time // sender timestamp, echoed in the ACK for RTT
+	INT     INTHeader
 
 	// ACK / NACK packets.
 	AckSeq  int64    // cumulative ACK: next expected byte

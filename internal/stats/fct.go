@@ -69,6 +69,9 @@ type BucketRow struct {
 // Buckets groups records into the given size-bucket edges (the figure's
 // x-axis labels; edge i bounds bucket i as (edge[i-1], edge[i]], with
 // the first bucket anchored at 0) and summarizes slowdowns per bucket.
+// Flows larger than the last edge land in the final bucket rather than
+// being dropped, so custom workloads with outsized flows keep their
+// tail-slowdown statistics.
 func (s *FCTSet) Buckets(edges []int64) []BucketRow {
 	rows := make([]BucketRow, len(edges))
 	vals := make([][]float64, len(edges))
@@ -85,7 +88,7 @@ func (s *FCTSet) Buckets(edges []int64) []BucketRow {
 			if i > 0 {
 				lo = edges[i-1]
 			}
-			if r.Size > lo && r.Size <= edges[i] {
+			if r.Size > lo && (r.Size <= edges[i] || i == len(edges)-1) {
 				vals[i] = append(vals[i], r.Slowdown())
 				break
 			}

@@ -137,9 +137,9 @@ func TestBuckets(t *testing.T) {
 	set.Add(FCTRecord{Size: 50, FCT: 20, Ideal: 10})
 	set.Add(FCTRecord{Size: 100, FCT: 40, Ideal: 10})
 	set.Add(FCTRecord{Size: 500, FCT: 30, Ideal: 10})
-	set.Add(FCTRecord{Size: 5000, FCT: 30, Ideal: 10}) // beyond all edges: dropped
+	set.Add(FCTRecord{Size: 5000, FCT: 30, Ideal: 10}) // beyond all edges: final bucket
 	rows := set.Buckets([]int64{100, 1000})
-	if rows[0].Stats.N != 2 || rows[1].Stats.N != 1 {
+	if rows[0].Stats.N != 2 || rows[1].Stats.N != 2 {
 		t.Fatalf("bucket counts = %d, %d", rows[0].Stats.N, rows[1].Stats.N)
 	}
 	if rows[0].Stats.Max != 4 {
@@ -147,6 +147,29 @@ func TestBuckets(t *testing.T) {
 	}
 	if rows[0].Lo != 0 || rows[0].Hi != 100 || rows[1].Lo != 100 {
 		t.Errorf("bucket bounds: %+v", rows[:2])
+	}
+}
+
+// Regression: records larger than the last edge used to be dropped
+// silently, skewing tail-slowdown stats for custom workloads. They must
+// land in the final bucket.
+func TestBucketsRouteOverflowToFinalBucket(t *testing.T) {
+	var set FCTSet
+	set.Add(FCTRecord{Size: 2_000, FCT: 100, Ideal: 10}) // 10× slowdown, oversized
+	set.Add(FCTRecord{Size: 900, FCT: 20, Ideal: 10})
+	rows := set.Buckets([]int64{100, 1000})
+	if rows[1].Stats.N != 2 {
+		t.Fatalf("final bucket N = %d, want 2 (oversized flow included)", rows[1].Stats.N)
+	}
+	if rows[1].Stats.Max != 10 {
+		t.Fatalf("final bucket max = %v, want 10 (the oversized flow's slowdown)", rows[1].Stats.Max)
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Stats.N
+	}
+	if total != len(set.Records) {
+		t.Fatalf("bucketed %d of %d records", total, len(set.Records))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"hpcc/internal/fabric"
 	"hpcc/internal/host"
+	"hpcc/internal/packet"
 	"hpcc/internal/sim"
 )
 
@@ -92,7 +93,18 @@ type edge struct {
 }
 
 // NewBuilder starts a topology with shared host and switch configs.
+// Every node of the network shares one packet pool (the world is
+// single-threaded), so frames freed anywhere are reusable everywhere.
 func NewBuilder(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Builder {
+	if hcfg.Pool == nil && scfg.Pool == nil {
+		pool := packet.NewPool()
+		hcfg.Pool = pool
+		scfg.Pool = pool
+	} else if hcfg.Pool == nil {
+		hcfg.Pool = scfg.Pool
+	} else if scfg.Pool == nil {
+		scfg.Pool = hcfg.Pool
+	}
 	return &Builder{eng: eng, hcfg: hcfg, scfg: scfg, adj: make(map[fabric.NodeID][]edge)}
 }
 
