@@ -142,8 +142,7 @@ func fattreeWebSearch(quick bool) outcome {
 	s := experiment.LoadScenario{
 		Scheme:   mustScheme("hpcc"),
 		Topo:     experiment.FatTreeTopo(topology.ScaledFatTree()),
-		CDF:      workload.WebSearch(),
-		Load:     0.5,
+		Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.5}},
 		MaxFlows: 1200,
 		Until:    8 * sim.Millisecond,
 		Drain:    20 * sim.Millisecond,

@@ -16,11 +16,10 @@ func main() {
 		nFlows = 4
 		epoch  = 4 * time.Millisecond
 	)
-	net, err := hpcc.NewNetwork(hpcc.NetConfig{
-		Scheme:       "hpcc",
-		Hosts:        nFlows + 1,
-		LinkRateGbps: 25,
-	})
+	net, err := hpcc.Experiment{
+		Scheme:   "hpcc",
+		Topology: hpcc.Star{Hosts: nFlows + 1, LinkRateGbps: 25},
+	}.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,10 +18,10 @@ func main() {
 		horizon  = 2 * time.Millisecond
 	)
 	for _, scheme := range []string{"hpcc", "dcqcn"} {
-		net, err := hpcc.NewNetwork(hpcc.NetConfig{
-			Scheme: scheme,
-			Hosts:  fanIn + 1,
-		})
+		net, err := hpcc.Experiment{
+			Scheme:   scheme,
+			Topology: hpcc.Star{Hosts: fanIn + 1},
+		}.Start()
 		if err != nil {
 			log.Fatal(err)
 		}

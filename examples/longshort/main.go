@@ -20,11 +20,10 @@ func main() {
 		shortLen = 1 << 20
 	)
 	for _, scheme := range []string{"hpcc", "dcqcn"} {
-		net, err := hpcc.NewNetwork(hpcc.NetConfig{
-			Scheme:       scheme,
-			Hosts:        3,
-			LinkRateGbps: 25,
-		})
+		net, err := hpcc.Experiment{
+			Scheme:   scheme,
+			Topology: hpcc.Star{Hosts: 3, LinkRateGbps: 25},
+		}.Start()
 		if err != nil {
 			log.Fatal(err)
 		}

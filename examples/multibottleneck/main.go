@@ -16,11 +16,10 @@ import (
 
 func main() {
 	const segments = 2
-	net, err := hpcc.NewNetwork(hpcc.NetConfig{
+	net, err := hpcc.Experiment{
 		Scheme:   "hpcc",
-		Topology: "parkinglot",
-		Hosts:    segments, // segment count; host layout documented on NetConfig
-	})
+		Topology: hpcc.ParkingLot{Segments: segments}, // host layout documented on ParkingLot
+	}.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

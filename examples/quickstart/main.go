@@ -11,11 +11,12 @@ import (
 )
 
 func main() {
-	// Four hosts around one 100 Gbps switch, running HPCC with INT.
-	net, err := hpcc.NewNetwork(hpcc.NetConfig{
-		Scheme: "hpcc",
-		Hosts:  4,
-	})
+	// Four hosts around one 100 Gbps switch, running HPCC with INT —
+	// composed from first-class spec values.
+	net, err := hpcc.Experiment{
+		Scheme:   "hpcc",
+		Topology: hpcc.Star{Hosts: 4},
+	}.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,15 +17,16 @@ func main() {
 		fmt.Printf("=== WebSearch at %.0f%% average load (testbed PoD) ===\n", load*100)
 		fmt.Println("scheme   flows  sd-p50  sd-p95  sd-p99  short-p99  q-p99(KB)  pause%")
 		for _, scheme := range []string{"hpcc", "dcqcn"} {
-			res, err := hpcc.Run(hpcc.SimConfig{
+			res, err := hpcc.Experiment{
 				Scheme:   scheme,
-				Topology: "pod",
-				Workload: "websearch",
-				Load:     load,
-				Flows:    600,
-				Duration: 10 * time.Millisecond,
+				Topology: hpcc.Pod{},
+				Traffic: []hpcc.Traffic{
+					hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: load},
+				},
+				Horizon:  10 * time.Millisecond,
 				Drain:    25 * time.Millisecond,
-			})
+				MaxFlows: 600,
+			}.Run()
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,193 @@
+package hpcc
+
+import (
+	"fmt"
+	"time"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/sim"
+	"hpcc/internal/workload"
+)
+
+// Experiment composes a simulation from first-class spec values: a
+// congestion-control scheme, a Topology, any number of Traffic
+// sources, and Observers streaming events out. It replaces the
+// stringly-typed config surface — NetConfig and SimConfig are thin
+// wrappers over it.
+//
+//	res, err := hpcc.Experiment{
+//		Scheme:   "hpcc",
+//		Topology: hpcc.FatTree{},
+//		Traffic: []hpcc.Traffic{
+//			hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: 0.5},
+//			hpcc.Incast{FanIn: 16, FlowSizeBytes: 500_000, LoadFraction: 0.02},
+//		},
+//		Horizon: 10 * time.Millisecond,
+//	}.Run()
+//
+// Determinism: everything derives from Seed; traffic source i draws
+// from Seed+i. Two runs of an identical Experiment produce identical
+// results.
+type Experiment struct {
+	// Scheme is the congestion control (see SchemeNames). Default
+	// "hpcc".
+	Scheme string
+	// Topology is the fabric spec. Default Pod{} (the paper's testbed).
+	Topology Topology
+	// Traffic sources are installed in order on the built fabric.
+	// Leave empty to drive flows manually via Start.
+	Traffic []Traffic
+	// Horizon is the traffic arrival window in virtual time (default
+	// 5 ms). Arrivals stop at the horizon; flows in flight drain.
+	Horizon time.Duration
+	// Drain is extra virtual time for in-flight flows (default 20 ms).
+	Drain time.Duration
+	// MaxFlows is the default per-source arrival cap (default 1000);
+	// sources with their own cap override it.
+	MaxFlows int
+	// Lossless enables PFC (default true). When false, switches drop
+	// and hosts recover via go-back-N.
+	Lossless *bool
+	// BucketEdges are the flow-size bucket edges for the result's
+	// per-bucket FCT statistics. Default: the natural edges of the
+	// first Poisson or RPC source's CDF, else the WebSearch figure
+	// edges.
+	BucketEdges []int64
+	// Observers stream per-flow records, queue samples and PFC events
+	// while the simulation runs.
+	Observers []Observer
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+// scenario lowers the Experiment onto the internal runner. It resolves
+// every spec and attaches the observers.
+func (e Experiment) scenario() (experiment.LoadScenario, []int64, error) {
+	if e.Scheme == "" {
+		e.Scheme = "hpcc"
+	}
+	scheme, err := experiment.ByName(e.Scheme)
+	if err != nil {
+		return experiment.LoadScenario{}, nil, err
+	}
+	if e.Topology == nil {
+		e.Topology = Pod{}
+	}
+	spec, err := e.Topology.topoSpec()
+	if err != nil {
+		return experiment.LoadScenario{}, nil, err
+	}
+	gens := make([]workload.Generator, len(e.Traffic))
+	for i, t := range e.Traffic {
+		if t == nil {
+			return experiment.LoadScenario{}, nil, fmt.Errorf("hpcc: Traffic[%d] is nil", i)
+		}
+		if gens[i], err = t.generator(); err != nil {
+			return experiment.LoadScenario{}, nil, err
+		}
+	}
+	if e.Seed == 0 {
+		e.Seed = 1
+	}
+	sc := experiment.LoadScenario{
+		Scheme:   scheme,
+		Topo:     spec,
+		Traffic:  gens,
+		MaxFlows: e.MaxFlows,
+		Until:    toSim(e.Horizon),
+		Drain:    toSim(e.Drain),
+		PFC:      e.Lossless == nil || *e.Lossless,
+		Seed:     e.Seed,
+	}
+	for _, o := range e.Observers {
+		if o != nil {
+			o.attach(&sc.Obs)
+		}
+	}
+	return sc, e.edges(), nil
+}
+
+// edges resolves the bucket edges for result statistics.
+func (e Experiment) edges() []int64 {
+	if len(e.BucketEdges) > 0 {
+		return e.BucketEdges
+	}
+	for _, t := range e.Traffic {
+		switch t := t.(type) {
+		case Poisson:
+			return t.CDF.edges()
+		case *Poisson:
+			return t.CDF.edges()
+		case RPC:
+			if t.ResponseCDF != nil {
+				return t.ResponseCDF.edges()
+			}
+		case *RPC:
+			if t.ResponseCDF != nil {
+				return t.ResponseCDF.edges()
+			}
+		}
+	}
+	return CDF{}.edges()
+}
+
+// Run executes the experiment to its horizon plus drain and summarizes
+// FCT-slowdown, queue and PFC statistics.
+func (e Experiment) Run() (*SimResult, error) {
+	sc, edges, err := e.scenario()
+	if err != nil {
+		return nil, err
+	}
+	r := experiment.RunLoad(sc)
+	return summarize(r, edges), nil
+}
+
+// Start builds the experiment's fabric, installs its traffic sources
+// and observers, and returns a Network for manual driving — start
+// explicit flows, issue READs, advance virtual time. Traffic arrivals
+// respect the Horizon (default 5 ms of virtual time); queue observers
+// sample over the same window.
+func (e Experiment) Start() (*Network, error) {
+	sc, _, err := e.scenario()
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net := experiment.StartManual(eng, sc)
+	return &Network{
+		eng:    eng,
+		nw:     net.Network,
+		scheme: sc.Scheme,
+		rate:   sc.Topo.Rate(),
+		rtt:    sc.Topo.BaseRTT(),
+		obs:    net.Obs,
+	}, nil
+}
+
+// summarize converts an internal LoadResult into the public SimResult,
+// guarding every percentile against empty sets: a run with no
+// qualifying flows reports 0 (with the explicit counts saying why),
+// never NaN — so results always survive encoding/json.
+func summarize(r *experiment.LoadResult, edges []int64) *SimResult {
+	sl := r.FCT.Slowdowns()
+	shortSl, shortN := shortSlowdowns(&r.FCT, 7_000)
+	out := &SimResult{
+		Scheme:               r.Scheme,
+		Flows:                len(r.FCT.Records),
+		Censored:             r.Censored,
+		SlowdownP50:          percentileOrZero(sl, 50),
+		SlowdownP95:          percentileOrZero(sl, 95),
+		SlowdownP99:          percentileOrZero(sl, 99),
+		ShortFlowP99Slowdown: percentileOrZero(shortSl, 99),
+		ShortFlows:           shortN,
+		QueueP50KB:           r.Queue.P50 / 1024,
+		QueueP99KB:           r.Queue.P99 / 1024,
+		QueueMaxKB:           r.Queue.Max / 1024,
+		PFCPauseFraction:     r.PauseFrac,
+		Drops:                r.Drops,
+	}
+	for _, row := range r.FCT.Buckets(edges) {
+		out.BucketP95 = append(out.BucketP95, BucketPoint{SizeHi: row.Hi, P95: row.Stats.P95, N: row.Stats.N})
+	}
+	return out
+}

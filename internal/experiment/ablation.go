@@ -120,8 +120,7 @@ func AblationINTQuantization(sc Scale) []QuantizeRow {
 		r := RunLoad(LoadScenario{
 			Scheme:      ByNameMust("hpcc"),
 			Topo:        PodTopo(topology.PodSpec{}),
-			CDF:         workload.WebSearch(),
-			Load:        0.3,
+			Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.3}},
 			MaxFlows:    sc.MaxFlows,
 			Until:       sc.Until,
 			Drain:       sc.Drain,

@@ -61,8 +61,7 @@ func Fig02(sc Scale) *Fig02Result {
 		base := LoadScenario{
 			Scheme:   scheme,
 			Topo:     PodTopo(topology.PodSpec{}),
-			CDF:      workload.WebSearch(),
-			Load:     0.3,
+			Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.3}},
 			MaxFlows: sc.MaxFlows,
 			Until:    sc.Until,
 			Drain:    sc.Drain,
@@ -74,7 +73,8 @@ func Fig02(sc Scale) *Fig02Result {
 		res.Buckets = append(res.Buckets, plain.FCT.Buckets(stats.WebSearchEdges()))
 
 		withIncast := base
-		withIncast.Incast = &Incast{FanIn: 16, Size: 500_000, LoadFrac: 0.02}
+		withIncast.Traffic = append(withIncast.Traffic[:1:1],
+			workload.IncastSpec{FanIn: 16, Size: 500_000, LoadFrac: 0.02})
 		withIncast.BufferBytes = BufferFor(32)
 		res.Incast = append(res.Incast, RunLoad(withIncast))
 	}
@@ -142,8 +142,7 @@ func Fig03(sc Scale) *Fig03Result {
 			r := RunLoad(LoadScenario{
 				Scheme:   scheme,
 				Topo:     PodTopo(topology.PodSpec{}),
-				CDF:      workload.WebSearch(),
-				Load:     load,
+				Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: load}},
 				MaxFlows: sc.MaxFlows,
 				Until:    sc.Until,
 				Drain:    sc.Drain,

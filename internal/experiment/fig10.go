@@ -68,8 +68,7 @@ func Fig10(sc Scale) *Fig10Result {
 			r := RunLoad(LoadScenario{
 				Scheme:   scheme,
 				Topo:     PodTopo(topology.PodSpec{}),
-				CDF:      workload.WebSearch(),
-				Load:     load,
+				Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: load}},
 				MaxFlows: sc.MaxFlows,
 				Until:    sc.Until,
 				Drain:    sc.Drain,

@@ -49,22 +49,24 @@ func Fig11(spec topology.FatTreeSpec, sc Scale) *Fig11Result {
 	}
 	type panel struct {
 		load   float64
-		incast *Incast
+		incast *workload.IncastSpec
 	}
 	panels := []panel{
-		{0.3, &Incast{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02}},
+		{0.3, &workload.IncastSpec{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02}},
 		{0.5, nil},
 	}
 	for _, p := range panels {
 		var rows [][]stats.BucketRow
 		var lrs []*LoadResult
 		for _, scheme := range schemes {
+			traffic := []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: p.load}}
+			if p.incast != nil {
+				traffic = append(traffic, *p.incast)
+			}
 			r := RunLoad(LoadScenario{
 				Scheme:      scheme,
 				Topo:        FatTreeTopo(spec),
-				CDF:         workload.FBHadoop(),
-				Load:        p.load,
-				Incast:      p.incast,
+				Traffic:     traffic,
 				MaxFlows:    sc.MaxFlows,
 				Until:       sc.Until,
 				Drain:       sc.Drain,

@@ -62,11 +62,12 @@ func Fig12(spec topology.FatTreeSpec, sc Scale) *Fig12Result {
 		var lrs []*LoadResult
 		for _, mode := range fig12Modes() {
 			r := RunLoad(LoadScenario{
-				Scheme:      scheme,
-				Topo:        FatTreeTopo(spec),
-				CDF:         workload.FBHadoop(),
-				Load:        0.3,
-				Incast:      &Incast{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02},
+				Scheme: scheme,
+				Topo:   FatTreeTopo(spec),
+				Traffic: []workload.Generator{
+					workload.PoissonSpec{CDF: workload.FBHadoop(), Load: 0.3},
+					workload.IncastSpec{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02},
+				},
 				MaxFlows:    sc.MaxFlows,
 				Until:       sc.Until,
 				Drain:       sc.Drain,

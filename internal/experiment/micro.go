@@ -30,7 +30,7 @@ type microNet struct {
 // (the testbed is lossless) and the scheme's INT/ECN needs.
 func buildStarMicro(scheme Scheme, n int, rate sim.Rate, seed int64, tputBin sim.Time) *microNet {
 	eng := sim.NewEngine()
-	topo := Topo{Kind: "star", N: n, HostRate: rate, Delay: sim.Microsecond}
+	topo := topology.StarSpec{N: n, HostRate: rate, Delay: sim.Microsecond}
 	scfg := fabric.SwitchConfig{
 		PFCEnabled: true,
 		INTEnabled: scheme.INT,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hpcc/internal/sim"
+	"hpcc/internal/topology"
 	"hpcc/internal/workload"
 )
 
@@ -84,18 +85,18 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 	Register(Scenario{Name: "fig6", Title: "dup", Run: func(Params) []*Table { return nil }})
 }
 
-// The parking-lot Topo kind must build, carry load, and report a sane
-// base RTT (used by both the registry scenario and the public API).
+// The parking-lot topology spec must build, carry load, and report a
+// sane base RTT (used by both the registry scenario and the public
+// API).
 func TestParkingLotTopo(t *testing.T) {
 	topo := ParkingLotTopo(3, fig9Rate)
-	if topo.BaseRTT() <= topo.Delay {
+	if topo.BaseRTT() <= topo.(topology.ParkingLotSpec).Delay {
 		t.Fatal("parking-lot base RTT not derived from chain length")
 	}
 	r := RunLoad(LoadScenario{
 		Scheme:   ByNameMust("hpcc"),
 		Topo:     topo,
-		CDF:      workload.FBHadoop(),
-		Load:     0.3,
+		Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: 0.3}},
 		MaxFlows: 60,
 		Until:    2 * sim.Millisecond,
 		Drain:    8 * sim.Millisecond,

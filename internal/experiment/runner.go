@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"fmt"
-
 	"hpcc/internal/fabric"
 	"hpcc/internal/host"
 	"hpcc/internal/packet"
@@ -12,115 +10,64 @@ import (
 	"hpcc/internal/workload"
 )
 
-// Topo selects and parameterizes a topology for a scenario.
-type Topo struct {
-	Kind string // "star", "pod", "fattree", "dumbbell", "parkinglot"
-
-	// Star / dumbbell parameters; for "parkinglot", N is the segment
-	// count of the multi-bottleneck chain.
-	N        int
-	HostRate sim.Rate
-	Delay    sim.Time
-
-	// Preset specs.
-	Pod topology.PodSpec
-	Fat topology.FatTreeSpec
-}
+// Topo is a buildable topology spec. Every fabric a scenario can run
+// on — paper presets and user-composed graphs — is a topology.Spec
+// value, so there is exactly one build path and no per-kind switch.
+type Topo = topology.Spec
 
 // StarTopo is the §5.4 fixture: n hosts at 100 Gbps, 1 µs links.
 func StarTopo(n int) Topo {
-	return Topo{Kind: "star", N: n, HostRate: 100 * sim.Gbps, Delay: sim.Microsecond}
+	return topology.StarSpec{N: n, HostRate: 100 * sim.Gbps, Delay: sim.Microsecond}
 }
 
 // PodTopo is the §5.2 testbed PoD.
-func PodTopo(spec topology.PodSpec) Topo { return Topo{Kind: "pod", Pod: spec} }
+func PodTopo(spec topology.PodSpec) Topo { return spec }
 
 // FatTreeTopo is the §5.3 simulation fabric.
-func FatTreeTopo(spec topology.FatTreeSpec) Topo { return Topo{Kind: "fattree", Fat: spec} }
+func FatTreeTopo(spec topology.FatTreeSpec) Topo { return spec }
 
 // ParkingLotTopo is the §3.2/Appendix-A multi-bottleneck chain:
 // segments+1 switches in a line whose inter-switch links run at the
 // host rate, so every segment a flow crosses is a potential bottleneck.
 func ParkingLotTopo(segments int, rate sim.Rate) Topo {
-	return Topo{Kind: "parkinglot", N: segments, HostRate: rate, Delay: sim.Microsecond}
+	return topology.ParkingLotSpec{Segments: segments, HostRate: rate, Delay: sim.Microsecond}
 }
 
-// Build constructs the network.
-func (t Topo) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *topology.Network {
-	switch t.Kind {
-	case "star":
-		return topology.Star(eng, t.N, t.HostRate, t.Delay, hcfg, scfg)
-	case "dumbbell":
-		return topology.Dumbbell(eng, t.N, t.HostRate, t.HostRate, t.Delay, hcfg, scfg)
-	case "pod":
-		return topology.Pod(eng, t.Pod, hcfg, scfg)
-	case "fattree":
-		return topology.FatTree(eng, t.Fat, hcfg, scfg)
-	case "parkinglot":
-		return topology.ParkingLot(eng, t.N, t.HostRate, t.HostRate, t.Delay, hcfg, scfg)
-	default:
-		panic(fmt.Sprintf("experiment: unknown topology %q", t.Kind))
-	}
+// FlowEvent is one completed transfer, as streamed to Obs.OnFlow: the
+// endpoint host indices, the start time, and the FCT record added to
+// the result set. For RDMA READs (Read true), Src is the responder
+// (the data source) and Dst the requester.
+type FlowEvent struct {
+	Src, Dst int
+	Read     bool
+	Started  sim.Time
+	Rec      stats.FCTRecord
 }
 
-// Rate returns the host NIC speed (for load targets, ideal FCTs and
-// ECN scaling).
-func (t Topo) Rate() sim.Rate {
-	switch t.Kind {
-	case "pod":
-		sp := t.Pod
-		if sp.HostRate == 0 {
-			return 25 * sim.Gbps
-		}
-		return sp.HostRate
-	case "fattree":
-		sp := t.Fat
-		if sp.HostRate == 0 {
-			return 100 * sim.Gbps
-		}
-		return sp.HostRate
-	default:
-		return t.HostRate
-	}
+// Obs carries the optional observer callbacks a scenario attaches to a
+// run: per-flow FCT records, periodic queue samples, and PFC pause
+// transitions. The public API's Observer values, cmd/hpccbench and
+// Network.TraceQueues all ride these hooks.
+type Obs struct {
+	OnFlow  func(FlowEvent)
+	OnQueue func(stats.TimePoint)
+	OnPFC   func(stats.PFCEvent)
 }
 
-// BaseRTT returns the network's base-RTT constant T, per §5.1: "slightly
-// greater than the maximum RTT" — 9 µs for the testbed PoD, 13 µs for
-// the FatTree, and 4×delay + margin for the micro fixtures.
-func (t Topo) BaseRTT() sim.Time {
-	switch t.Kind {
-	case "pod":
-		return 9 * sim.Microsecond
-	case "fattree":
-		return 13 * sim.Microsecond
-	case "parkinglot":
-		// The long flow crosses every inter-switch hop plus both host
-		// links: 2·(segments+2) one-way link delays, with margin.
-		return 2*sim.Time(t.N+2)*t.Delay + time500ns
-	default:
-		return 4*t.Delay + time500ns
-	}
-}
-
-const time500ns = 500 * sim.Nanosecond
-
-// Incast parameterizes the periodic fan-in events of §5.3.
-type Incast struct {
-	FanIn    int
-	Size     int64
-	LoadFrac float64
-}
-
-// LoadScenario is the common "background Poisson load (+ optional
-// incast) on a topology" experiment shared by Figures 2, 3, 10, 11, 12.
+// LoadScenario is the common "composable traffic on a topology"
+// experiment shared by Figures 2, 3, 10, 11, 12 and the public
+// Experiment API: a scheme, a topology spec, and any number of traffic
+// generators installed on the same fabric.
 type LoadScenario struct {
 	Scheme Scheme
 	Topo   Topo
 
-	CDF      *workload.CDF
-	Load     float64
-	Incast   *Incast
-	MaxFlows int      // cap on Poisson arrivals (bounds runtime)
+	// Traffic generators are installed in order; generator i draws its
+	// randomness from Seed+i, so a scenario's output is independent of
+	// everything but the specs themselves.
+	Traffic []workload.Generator
+
+	MaxFlows int      // default per-generator cap on arrivals (bounds runtime)
 	Until    sim.Time // arrival window end
 	Drain    sim.Time // extra time for in-flight flows to finish
 
@@ -135,6 +82,9 @@ type LoadScenario struct {
 	// INTQuantize rounds every INT stamp through the Figure-7 wire
 	// precision (ASIC emulation ablation).
 	INTQuantize bool
+
+	// Obs streams per-flow, queue and PFC events to observers.
+	Obs Obs
 }
 
 func (s *LoadScenario) normalize() {
@@ -200,11 +150,8 @@ func (r *LoadResult) ShortFlowP95Latency(limit int64) float64 {
 	return stats.Percentile(lat, 95)
 }
 
-// RunLoad executes the scenario to its horizon and collects results.
-func RunLoad(s LoadScenario) *LoadResult {
-	s.normalize()
-	eng := sim.NewEngine()
-
+// build constructs the scenario's fabric on eng.
+func (s *LoadScenario) build(eng *sim.Engine) *topology.Network {
 	scfg := fabric.SwitchConfig{
 		BufferBytes: s.BufferBytes,
 		PFCEnabled:  s.PFC,
@@ -216,8 +163,8 @@ func RunLoad(s LoadScenario) *LoadResult {
 	if !s.PFC {
 		scfg.LossyEgressAlpha = 1 // paper footnote 6
 	}
-	rate := s.Topo.Rate()
 	if s.Scheme.ECN {
+		rate := s.Topo.Rate()
 		scfg.KMin = s.Scheme.Kmin(rate)
 		scfg.KMax = s.Scheme.Kmax(rate)
 	}
@@ -228,37 +175,78 @@ func RunLoad(s LoadScenario) *LoadResult {
 		BaseRTT: s.Topo.BaseRTT(),
 		Seed:    s.Seed,
 	}
-	nw := s.Topo.Build(eng, hcfg, scfg)
+	return s.Topo.Build(eng, hcfg, scfg)
+}
 
-	res := &LoadResult{Scheme: s.Scheme.Name}
+// installTraffic installs the scenario's generators and PFC watch on a
+// built fabric. Every completion becomes one FCTRecord — appended to
+// fct when non-nil (RunLoad's aggregate) and streamed to Obs.OnFlow —
+// so the aggregate and the observer stream can never disagree.
+func (s *LoadScenario) installTraffic(eng *sim.Engine, nw *topology.Network, fct *stats.FCTSet) {
+	rate := s.Topo.Rate()
+	baseRTT := s.Topo.BaseRTT()
+	emit := func(ev FlowEvent) {
+		if fct != nil {
+			fct.Add(ev.Rec)
+		}
+		if s.Obs.OnFlow != nil {
+			s.Obs.OnFlow(ev)
+		}
+	}
 	onDone := func(f *host.Flow) {
-		res.FCT.Add(stats.FCTRecord{
-			Size:  f.Size(),
-			FCT:   f.FCT(),
-			Ideal: stats.IdealFCT(f.Size(), rate, s.Topo.BaseRTT(), packet.DefaultMTU, s.Scheme.INT),
+		emit(FlowEvent{
+			Src:     nw.HostIndex(f.Host().ID()),
+			Dst:     nw.HostIndex(f.Dst()),
+			Started: f.Started(),
+			Rec: stats.FCTRecord{
+				Size:  f.Size(),
+				FCT:   f.FCT(),
+				Ideal: stats.IdealFCT(f.Size(), rate, baseRTT, packet.DefaultMTU, s.Scheme.INT),
+			},
 		})
 	}
-	workload.StartPoisson(nw, workload.PoissonSpec{
-		CDF:      s.CDF,
-		Load:     s.Load,
+	onRead := func(req, resp int, size int64, elapsed sim.Time) {
+		// A READ's response crosses the fabric like a flow, but the
+		// clock starts at the request, so the ideal adds the request's
+		// one-way trip.
+		emit(FlowEvent{
+			Src:     resp,
+			Dst:     req,
+			Read:    true,
+			Started: eng.Now() - elapsed,
+			Rec: stats.FCTRecord{
+				Size:  size,
+				FCT:   elapsed,
+				Ideal: stats.IdealFCT(size, rate, baseRTT, packet.DefaultMTU, s.Scheme.INT) + baseRTT/2,
+			},
+		})
+	}
+	env := workload.Env{
 		HostRate: rate,
 		Until:    s.Until,
 		MaxFlows: s.MaxFlows,
 		OnDone:   onDone,
-		Seed:     s.Seed,
-	})
-	if s.Incast != nil {
-		workload.StartIncast(nw, workload.IncastSpec{
-			FanIn:    s.Incast.FanIn,
-			Size:     s.Incast.Size,
-			LoadFrac: s.Incast.LoadFrac,
-			HostRate: rate,
-			Until:    s.Until,
-			OnDone:   onDone,
-			Seed:     s.Seed + 1,
-		})
+		OnRead:   onRead,
 	}
+	for i, g := range s.Traffic {
+		env.Seed = s.Seed + int64(i)
+		g.Install(nw, env)
+	}
+	if s.Obs.OnPFC != nil {
+		stats.WatchPFC(eng, nw.Switches, s.Obs.OnPFC)
+	}
+}
+
+// RunLoad executes the scenario to its horizon and collects results.
+func RunLoad(s LoadScenario) *LoadResult {
+	s.normalize()
+	eng := sim.NewEngine()
+	nw := s.build(eng)
+
+	res := &LoadResult{Scheme: s.Scheme.Name}
+	s.installTraffic(eng, nw, &res.FCT)
 	mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
+	mon.OnSample = s.Obs.OnQueue
 
 	eng.RunUntil(s.Until + s.Drain)
 	mon.Stop()
@@ -287,4 +275,28 @@ func RunLoad(s LoadScenario) *LoadResult {
 		res.PortPackets += p.PacketsSent()
 	}
 	return res
+}
+
+// ManualNet is a built-but-not-run scenario: the fabric with traffic
+// generators and observers installed, for callers that drive virtual
+// time themselves (the public Network surface).
+type ManualNet struct {
+	Network *topology.Network
+	Obs     Obs
+	Until   sim.Time
+}
+
+// StartManual builds the scenario's fabric on eng, installs its
+// traffic and observers, and hands control back without running.
+// Completed generator flows (and READs) stream to Obs.OnFlow; no
+// aggregate result is collected.
+func StartManual(eng *sim.Engine, s LoadScenario) *ManualNet {
+	s.normalize()
+	nw := s.build(eng)
+	s.installTraffic(eng, nw, nil)
+	if s.Obs.OnQueue != nil {
+		mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
+		mon.OnSample = s.Obs.OnQueue
+	}
+	return &ManualNet{Network: nw, Obs: s.Obs, Until: s.Until}
 }

@@ -54,8 +54,7 @@ func SweepFBHadoop(spec topology.FatTreeSpec, sc Scale) *SweepResult {
 			lrs = append(lrs, RunLoad(LoadScenario{
 				Scheme:      scheme,
 				Topo:        FatTreeTopo(spec),
-				CDF:         workload.FBHadoop(),
-				Load:        load,
+				Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: load}},
 				MaxFlows:    sc.MaxFlows,
 				Until:       sc.Until,
 				Drain:       sc.Drain,
@@ -114,8 +113,7 @@ func ParkingLotCompare(sc Scale) *ParkingLotResult {
 		r := RunLoad(LoadScenario{
 			Scheme:   scheme,
 			Topo:     ParkingLotTopo(segments, 100*sim.Gbps),
-			CDF:      workload.FBHadoop(),
-			Load:     0.5,
+			Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: 0.5}},
 			MaxFlows: sc.MaxFlows,
 			Until:    sc.Until,
 			Drain:    sc.Drain,

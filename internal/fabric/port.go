@@ -92,7 +92,15 @@ type Port struct {
 	pausedFor   [NumPrio]sim.Time
 	pauseEvents uint64
 	maxQBytes   int64
+
+	// pauseHook, if set, observes every pause/resume transition of this
+	// transmitter (the observer layer's PFC event stream).
+	pauseHook func(prio uint8, paused bool)
 }
+
+// SetPauseHook installs fn to observe every PFC pause/resume transition
+// applied to this port. Pass nil to remove.
+func (pt *Port) SetPauseHook(fn func(prio uint8, paused bool)) { pt.pauseHook = fn }
 
 func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Time) *Port {
 	pt := &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
@@ -181,6 +189,9 @@ func (pt *Port) SetPaused(prio uint8, pause bool) {
 	} else {
 		pt.pausedFor[prio] += pt.eng.Now() - pt.pauseStart[prio]
 		pt.kick()
+	}
+	if pt.pauseHook != nil {
+		pt.pauseHook(prio, pause)
 	}
 }
 

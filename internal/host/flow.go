@@ -84,6 +84,9 @@ func (f *Flow) Acked() int64 { return f.sndUna }
 // Dst returns the destination host's node ID.
 func (f *Flow) Dst() fabric.NodeID { return f.dst }
 
+// Host returns the sending host that owns this flow.
+func (f *Flow) Host() *Host { return f.host }
+
 // Alg exposes the flow's CC instance for tracing.
 func (f *Flow) Alg() cc.Algorithm { return f.alg }
 

@@ -245,8 +245,14 @@ func (h *Host) HandleArrival(p *packet.Packet, in *fabric.Port) {
 		h.pool.Put(p)
 	case packet.ReadReq:
 		// RDMA READ responder: stream the requested bytes back as a
-		// plain data flow owned by this host.
-		h.StartFlow(p.FlowID, fabric.NodeID(p.Src), p.Seq, int(p.FlowID)%len(h.ports), nil)
+		// plain data flow owned by this host. READ flow IDs are
+		// negative, so the multi-homing hash must use the magnitude —
+		// a negative remainder would index out of range.
+		port := int(p.FlowID) % len(h.ports)
+		if port < 0 {
+			port = -port
+		}
+		h.StartFlow(p.FlowID, fabric.NodeID(p.Src), p.Seq, port, nil)
 		h.pool.Put(p)
 	default:
 		panic(fmt.Sprintf("host: unknown packet type %v", p.Type))

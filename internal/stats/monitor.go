@@ -19,6 +19,12 @@ type QueueMonitor struct {
 	Samples []float64
 	// Series records (time, total bytes across ports) pairs.
 	Series []TimePoint
+
+	// OnSample, if set, streams each (time, total bytes) observation as
+	// it is taken — the observer-layer feed TraceQueues and the public
+	// QueueObserver ride. Set it right after NewQueueMonitor; the first
+	// tick fires one interval later.
+	OnSample func(TimePoint)
 }
 
 // TimePoint is one time-series observation.
@@ -49,7 +55,34 @@ func (m *QueueMonitor) tick() {
 		total += q
 	}
 	m.Series = append(m.Series, TimePoint{now, total})
+	if m.OnSample != nil {
+		m.OnSample(TimePoint{now, total})
+	}
 	m.eng.After(m.interval, m.tick)
+}
+
+// PFCEvent is one pause/resume transition observed at a switch egress
+// port.
+type PFCEvent struct {
+	At     sim.Time
+	Switch int // index into the watched switch list
+	Port   int // port index at that switch
+	Prio   uint8
+	Paused bool
+}
+
+// WatchPFC streams every PFC pause/resume transition on the switches'
+// ports to fn. It replaces any previously installed pause hooks on
+// those ports.
+func WatchPFC(eng *sim.Engine, switches []*fabric.Switch, fn func(PFCEvent)) {
+	for si, sw := range switches {
+		for pi, p := range sw.Ports() {
+			si, pi, p := si, pi, p
+			p.SetPauseHook(func(prio uint8, paused bool) {
+				fn(PFCEvent{At: eng.Now(), Switch: si, Port: pi, Prio: prio, Paused: paused})
+			})
+		}
+	}
 }
 
 // Throughput tracks per-flow goodput in fixed time bins, producing the

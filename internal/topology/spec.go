@@ -1,0 +1,320 @@
+package topology
+
+import (
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+)
+
+// Spec is a self-describing, buildable topology: every fabric the
+// experiments run on — paper presets and user-composed graphs alike —
+// is a value implementing this interface, so scenario code needs no
+// per-kind switch statements.
+type Spec interface {
+	// Build constructs the network on eng with shared host/switch
+	// configs.
+	Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network
+	// Rate returns the host NIC speed — the reference for load targets,
+	// ideal FCTs and ECN threshold scaling.
+	Rate() sim.Rate
+	// BaseRTT returns the network-wide base-RTT constant T (§5.1:
+	// "slightly greater than the maximum RTT").
+	BaseRTT() sim.Time
+}
+
+const rttMargin = 500 * sim.Nanosecond
+
+// StarSpec is the §5.4 micro-benchmark fixture: N hosts around one
+// switch. Defaults: 17 hosts, 100 Gbps, 1 µs links.
+type StarSpec struct {
+	N        int
+	HostRate sim.Rate
+	Delay    sim.Time
+}
+
+func (s StarSpec) normalize() StarSpec {
+	if s.N == 0 {
+		s.N = 17
+	}
+	if s.HostRate == 0 {
+		s.HostRate = 100 * sim.Gbps
+	}
+	if s.Delay == 0 {
+		s.Delay = sim.Microsecond
+	}
+	return s
+}
+
+func (s StarSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	s = s.normalize()
+	return Star(eng, s.N, s.HostRate, s.Delay, hcfg, scfg)
+}
+
+func (s StarSpec) Rate() sim.Rate { return s.normalize().HostRate }
+
+func (s StarSpec) BaseRTT() sim.Time { return 4*s.normalize().Delay + rttMargin }
+
+// DumbbellSpec wires Pairs sender hosts and Pairs receiver hosts across
+// two switches joined by one CoreRate bottleneck link.
+type DumbbellSpec struct {
+	Pairs    int
+	HostRate sim.Rate
+	CoreRate sim.Rate
+	Delay    sim.Time
+}
+
+func (s DumbbellSpec) normalize() DumbbellSpec {
+	if s.Pairs == 0 {
+		s.Pairs = 1
+	}
+	if s.HostRate == 0 {
+		s.HostRate = 100 * sim.Gbps
+	}
+	if s.CoreRate == 0 {
+		s.CoreRate = s.HostRate
+	}
+	if s.Delay == 0 {
+		s.Delay = sim.Microsecond
+	}
+	return s
+}
+
+func (s DumbbellSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	s = s.normalize()
+	return Dumbbell(eng, s.Pairs, s.HostRate, s.CoreRate, s.Delay, hcfg, scfg)
+}
+
+func (s DumbbellSpec) Rate() sim.Rate { return s.normalize().HostRate }
+
+// BaseRTT: host–switch–switch–host is three one-way link delays.
+func (s DumbbellSpec) BaseRTT() sim.Time { return 6*s.normalize().Delay + rttMargin }
+
+// ParkingLotSpec is the §3.2/Appendix-A multi-bottleneck chain:
+// Segments+1 switches in a line whose inter-switch links run at the
+// host rate, a long host pair at the ends, and one local host pair per
+// segment (see ParkingLot for the host layout).
+type ParkingLotSpec struct {
+	Segments int
+	HostRate sim.Rate
+	CoreRate sim.Rate
+	Delay    sim.Time
+}
+
+func (s ParkingLotSpec) normalize() ParkingLotSpec {
+	if s.Segments == 0 {
+		s.Segments = 2
+	}
+	if s.HostRate == 0 {
+		s.HostRate = 100 * sim.Gbps
+	}
+	if s.CoreRate == 0 {
+		s.CoreRate = s.HostRate
+	}
+	if s.Delay == 0 {
+		s.Delay = sim.Microsecond
+	}
+	return s
+}
+
+func (s ParkingLotSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	s = s.normalize()
+	return ParkingLot(eng, s.Segments, s.HostRate, s.CoreRate, s.Delay, hcfg, scfg)
+}
+
+func (s ParkingLotSpec) Rate() sim.Rate { return s.normalize().HostRate }
+
+// BaseRTT: the long flow crosses every inter-switch hop plus both host
+// links — 2·(Segments+2) one-way link delays, with margin.
+func (s ParkingLotSpec) BaseRTT() sim.Time {
+	s = s.normalize()
+	return 2*sim.Time(s.Segments+2)*s.Delay + rttMargin
+}
+
+// PodSpec implements Spec (the builder itself is Pod).
+
+func (s PodSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	return Pod(eng, s, hcfg, scfg)
+}
+
+func (s PodSpec) Rate() sim.Rate {
+	if s.HostRate == 0 {
+		return 25 * sim.Gbps
+	}
+	return s.HostRate
+}
+
+// BaseRTT is the testbed's 9 µs constant (§5.1).
+func (s PodSpec) BaseRTT() sim.Time { return 9 * sim.Microsecond }
+
+// FatTreeSpec implements Spec (the builder itself is FatTree).
+
+func (s FatTreeSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	return FatTree(eng, s, hcfg, scfg)
+}
+
+func (s FatTreeSpec) Rate() sim.Rate {
+	if s.HostRate == 0 {
+		return 100 * sim.Gbps
+	}
+	return s.HostRate
+}
+
+// BaseRTT is the simulation fabric's 13 µs constant (§5.1).
+func (s FatTreeSpec) BaseRTT() sim.Time { return 13 * sim.Microsecond }
+
+// GraphNode references a node added to a GraphSpec. Hosts and switches
+// are numbered independently in add order; the host numbering is the
+// built Network's host index.
+type GraphNode struct {
+	Switch bool
+	Index  int
+}
+
+// GraphLink is one full-duplex link of a GraphSpec.
+type GraphLink struct {
+	A, B  GraphNode
+	Rate  sim.Rate
+	Delay sim.Time
+}
+
+// GraphSpec is a user-composed topology: an explicit node/link graph
+// replayed through Builder, with ECMP shortest-path routing computed at
+// Build like every preset. The zero value is an empty graph; add nodes
+// with AddHost/AddSwitch and wire them with Link.
+type GraphSpec struct {
+	// HostRate, if nonzero, overrides the derived NIC reference rate
+	// (the maximum host-adjacent link rate).
+	HostRate sim.Rate
+	// RTT, if nonzero, overrides the derived base RTT (twice the
+	// worst-case host-to-host shortest-path propagation delay, plus
+	// margin).
+	RTT sim.Time
+
+	Hosts    int
+	Switches int
+	Links    []GraphLink
+}
+
+// AddHost appends a host and returns its reference.
+func (g *GraphSpec) AddHost() GraphNode {
+	g.Hosts++
+	return GraphNode{Index: g.Hosts - 1}
+}
+
+// AddSwitch appends a switch and returns its reference.
+func (g *GraphSpec) AddSwitch() GraphNode {
+	g.Switches++
+	return GraphNode{Switch: true, Index: g.Switches - 1}
+}
+
+// Link wires a full-duplex link between two previously added nodes.
+func (g *GraphSpec) Link(a, b GraphNode, rate sim.Rate, delay sim.Time) {
+	g.Links = append(g.Links, GraphLink{A: a, B: b, Rate: rate, Delay: delay})
+}
+
+// Build replays the recorded graph through a Builder. Host indices in
+// the returned Network match AddHost order.
+func (g GraphSpec) Build(eng *sim.Engine, hcfg host.Config, scfg fabric.SwitchConfig) *Network {
+	b := NewBuilder(eng, hcfg, scfg)
+	hosts := make([]*host.Host, g.Hosts)
+	for i := range hosts {
+		hosts[i] = b.AddHost()
+	}
+	switches := make([]*fabric.Switch, g.Switches)
+	for i := range switches {
+		switches[i] = b.AddSwitch()
+	}
+	pick := func(n GraphNode) fabric.Node {
+		if n.Switch {
+			return switches[n.Index]
+		}
+		return hosts[n.Index]
+	}
+	for _, l := range g.Links {
+		b.Link(pick(l.A), pick(l.B), l.Rate, l.Delay)
+	}
+	return b.Build()
+}
+
+// Rate returns the explicit HostRate or the maximum link rate adjacent
+// to a host (100 Gbps for an empty graph).
+func (g GraphSpec) Rate() sim.Rate {
+	if g.HostRate != 0 {
+		return g.HostRate
+	}
+	var max sim.Rate
+	for _, l := range g.Links {
+		if (!l.A.Switch || !l.B.Switch) && l.Rate > max {
+			max = l.Rate
+		}
+	}
+	if max == 0 {
+		max = 100 * sim.Gbps
+	}
+	return max
+}
+
+// BaseRTT returns the explicit RTT or derives it: twice the largest
+// host-to-host shortest-path propagation delay, plus margin — the same
+// convention the preset fixtures use.
+func (g GraphSpec) BaseRTT() sim.Time {
+	if g.RTT != 0 {
+		return g.RTT
+	}
+	// Adjacency over (kind, index) nodes with per-link delay weights.
+	type key struct {
+		sw  bool
+		idx int
+	}
+	adj := make(map[key][]struct {
+		to key
+		d  sim.Time
+	})
+	for _, l := range g.Links {
+		a := key{l.A.Switch, l.A.Index}
+		b := key{l.B.Switch, l.B.Index}
+		adj[a] = append(adj[a], struct {
+			to key
+			d  sim.Time
+		}{b, l.Delay})
+		adj[b] = append(adj[b], struct {
+			to key
+			d  sim.Time
+		}{a, l.Delay})
+	}
+	// Dijkstra-lite from each host (graphs are tiny at build time; an
+	// O(V²) scan is fine and allocation-free in the loop).
+	var worst sim.Time
+	for h := 0; h < g.Hosts; h++ {
+		dist := map[key]sim.Time{{false, h}: 0}
+		done := make(map[key]bool)
+		for {
+			var cur key
+			var best sim.Time = -1
+			for k, d := range dist {
+				if !done[k] && (best < 0 || d < best) {
+					cur, best = k, d
+				}
+			}
+			if best < 0 {
+				break
+			}
+			done[cur] = true
+			for _, e := range adj[cur] {
+				nd := best + e.d
+				if old, ok := dist[e.to]; !ok || nd < old {
+					dist[e.to] = nd
+				}
+			}
+		}
+		for k, d := range dist {
+			if !k.sw && d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst == 0 {
+		return 10 * sim.Microsecond
+	}
+	return 2*worst + rttMargin
+}

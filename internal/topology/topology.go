@@ -20,6 +20,7 @@ type Network struct {
 	Switches []*fabric.Switch
 
 	nextFlow int32
+	nextRead int32 // READ flow IDs run negative to avoid flow-ID collisions
 	hostIdx  map[fabric.NodeID]int
 }
 
@@ -35,6 +36,17 @@ func (n *Network) StartFlow(src, dst int, size int64, onDone func(*host.Flow)) *
 		port = int(uint32(n.nextFlow) * 2654435761 % uint32(np))
 	}
 	return h.StartFlow(n.nextFlow, n.Hosts[dst].ID(), size, port, onDone)
+}
+
+// StartRead issues an RDMA READ (§4.2): host requester pulls size
+// bytes from host responder. The response streams back as a data flow
+// owned by the responder; onDone fires at the requester once every
+// byte has arrived in order. READ flows get network-unique negative
+// IDs, so they never collide with StartFlow's positive ones.
+func (n *Network) StartRead(requester, responder int, size int64, onDone func()) {
+	n.nextRead++
+	h := n.Hosts[requester]
+	h.Read(-n.nextRead, n.Hosts[responder].ID(), size, 0, onDone)
 }
 
 // HostIndex maps a node ID back to the host's index in Hosts.

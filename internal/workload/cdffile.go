@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CDFFromFile loads a flow-size distribution from a text file of
+// "<bytes> <probability>" lines — the format the public ns-3 HPCC
+// harness ships its WebSearch/FB_Hadoop traces in. Probabilities may
+// be on a 0–1 or 0–100 scale (detected from the final line); blank
+// lines and lines starting with '#' are skipped. A leading (0, 0) knot
+// is added if the file omits it.
+func CDFFromFile(path string) (*CDF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var points []Point
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: %s:%d: want \"<bytes> <prob>\", got %q", path, lineNo, line)
+		}
+		bytes, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s:%d: bad size %q: %v", path, lineNo, fields[0], err)
+		}
+		prob, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s:%d: bad probability %q: %v", path, lineNo, fields[1], err)
+		}
+		points = append(points, Point{Bytes: int64(bytes), Prob: prob})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("workload: %s: no CDF points", path)
+	}
+	// Percent scale: normalize when the final cumulative value is > 1.
+	if last := points[len(points)-1].Prob; last > 1 {
+		for i := range points {
+			points[i].Prob /= last
+		}
+	}
+	if points[0].Prob != 0 {
+		points = append([]Point{{Bytes: 0, Prob: 0}}, points...)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return NewCDF(name, points)
+}
+
+// Edges returns the distribution's knot sizes (excluding any zero-byte
+// anchor, deduplicated) — the natural flow-size bucket edges for FCT
+// figures over this workload.
+func (c *CDF) Edges() []int64 {
+	var edges []int64
+	for _, p := range c.points {
+		if p.Bytes == 0 {
+			continue
+		}
+		if n := len(edges); n > 0 && edges[n-1] == p.Bytes {
+			continue
+		}
+		edges = append(edges, p.Bytes)
+	}
+	return edges
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"hpcc/internal/host"
+	"hpcc/internal/sim"
+	"hpcc/internal/topology"
+)
+
+// Env is the per-generator environment a scenario runner supplies at
+// install time. Generators use it to fill any field they were not
+// given explicitly, so one spec value composes into many scenarios.
+// Generators installed as traffic element i of a scenario receive
+// Seed = scenarioSeed + i, keeping multi-generator runs deterministic
+// and decorrelated.
+type Env struct {
+	HostRate sim.Rate
+	Until    sim.Time // arrival window end (0 = unlimited)
+	MaxFlows int      // default cap on generated flows (0 = unlimited)
+	// OnDone observes each completed sender flow.
+	OnDone func(*host.Flow)
+	// OnRead observes each completed RDMA READ at the requester:
+	// endpoints, response size and request-to-last-byte elapsed time.
+	OnRead func(requester, responder int, size int64, elapsed sim.Time)
+	Seed   int64
+}
+
+// Generator is a composable traffic source: anything that can install
+// arrivals on a built network. All the paper's patterns (Poisson,
+// incast) and the extensions (all-to-all shuffle, RPC request-response,
+// explicit arrival traces) implement it.
+type Generator interface {
+	Install(nw *topology.Network, env Env)
+}
+
+// Install starts Poisson arrivals, taking HostRate, Until, MaxFlows,
+// OnDone and Seed from env where the spec leaves them zero.
+func (spec PoissonSpec) Install(nw *topology.Network, env Env) {
+	if spec.HostRate == 0 {
+		spec.HostRate = env.HostRate
+	}
+	if spec.Until == 0 {
+		spec.Until = env.Until
+	}
+	if spec.MaxFlows == 0 {
+		spec.MaxFlows = env.MaxFlows
+	}
+	if spec.Seed == 0 {
+		spec.Seed = env.Seed
+	}
+	spec.OnDone = chain(spec.OnDone, env.OnDone)
+	StartPoisson(nw, spec)
+}
+
+// Install starts periodic incast events, taking defaults from env like
+// PoissonSpec.Install.
+func (spec IncastSpec) Install(nw *topology.Network, env Env) {
+	if spec.HostRate == 0 {
+		spec.HostRate = env.HostRate
+	}
+	if spec.Until == 0 {
+		spec.Until = env.Until
+	}
+	if spec.Seed == 0 {
+		spec.Seed = env.Seed
+	}
+	spec.OnDone = chain(spec.OnDone, env.OnDone)
+	StartIncast(nw, spec)
+}
+
+func chain(a, b func(*host.Flow)) func(*host.Flow) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return func(f *host.Flow) { a(f); b(f) }
+	}
+}
+
+// AllToAllSpec is a shuffle stage: every host ships Size bytes to every
+// other host, N·(N−1) flows per round. Rounds run closed-loop — round
+// r+1 starts only when every flow of round r has completed, as a
+// MapReduce shuffle barrier does. No randomness is involved; the
+// pattern is fully deterministic.
+type AllToAllSpec struct {
+	Size   int64
+	Rounds int // default 1; further rounds start only before Until
+	OnDone func(*host.Flow)
+}
+
+// Install starts the first shuffle round immediately.
+func (spec AllToAllSpec) Install(nw *topology.Network, env Env) {
+	if spec.Rounds == 0 {
+		spec.Rounds = 1
+	}
+	onDone := chain(spec.OnDone, env.OnDone)
+	n := len(nw.Hosts)
+	if n < 2 {
+		return
+	}
+	rounds := spec.Rounds
+	var fire func()
+	fire = func() {
+		if rounds == 0 {
+			return
+		}
+		rounds--
+		pending := n * (n - 1)
+		flowDone := func(f *host.Flow) {
+			if onDone != nil {
+				onDone(f)
+			}
+			pending--
+			if pending == 0 && rounds > 0 && (env.Until == 0 || nw.Eng.Now() <= env.Until) {
+				fire()
+			}
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if d != s {
+					nw.StartFlow(s, d, spec.Size, flowDone)
+				}
+			}
+		}
+	}
+	fire()
+}
+
+// RPCSpec drives the RDMA READ path (§4.2) with request-response
+// traffic: requests arrive as an open-loop Poisson process; each picks
+// a uniform-random requester/responder pair and the requester issues a
+// READ whose response size is drawn from CDF (or the fixed Size). Load
+// is the target average link load contributed by response bytes, the
+// same convention PoissonSpec uses for one-way flows.
+type RPCSpec struct {
+	// Size is the fixed response size when CDF is nil.
+	Size int64
+	// CDF, if set, draws each response size instead.
+	CDF  *CDF
+	Load float64
+	// MaxRequests caps total requests (0 = env.MaxFlows).
+	MaxRequests int
+	HostRate    sim.Rate
+	Until       sim.Time
+	// OnDone observes each completed READ at the requester.
+	OnDone func(requester, responder int, size int64, elapsed sim.Time)
+	Seed   int64
+}
+
+// Install starts the request process. Completion is observed at the
+// requester (last response byte arrived in order), through both
+// spec.OnDone and env.OnRead.
+func (spec RPCSpec) Install(nw *topology.Network, env Env) {
+	if spec.HostRate == 0 {
+		spec.HostRate = env.HostRate
+	}
+	if spec.Until == 0 {
+		spec.Until = env.Until
+	}
+	if spec.MaxRequests == 0 {
+		spec.MaxRequests = env.MaxFlows
+	}
+	if spec.Seed == 0 {
+		spec.Seed = env.Seed
+	}
+	rng := sim.NewRNG(spec.Seed, "rpc")
+	n := len(nw.Hosts)
+	if n < 2 {
+		return
+	}
+	mean := float64(spec.Size)
+	if spec.CDF != nil {
+		mean = spec.CDF.Mean()
+	}
+	if mean <= 0 {
+		return
+	}
+	bytesPerSec := spec.Load * float64(n) * spec.HostRate.BytesPerSec()
+	lambda := bytesPerSec / mean // requests per second
+	if lambda <= 0 {
+		return
+	}
+	meanGapPs := float64(sim.Second) / lambda
+	onDone := spec.OnDone
+	onRead := env.OnRead
+	issued := 0
+	var arrive func()
+	arrive = func() {
+		if spec.MaxRequests > 0 && issued >= spec.MaxRequests {
+			return
+		}
+		if spec.Until > 0 && nw.Eng.Now() > spec.Until {
+			return
+		}
+		req := rng.Intn(n)
+		resp := rng.Intn(n - 1)
+		if resp >= req {
+			resp++
+		}
+		size := spec.Size
+		if spec.CDF != nil {
+			size = spec.CDF.Sample(rng)
+		}
+		issuedAt := nw.Eng.Now()
+		nw.StartRead(req, resp, size, func() {
+			elapsed := nw.Eng.Now() - issuedAt
+			if onDone != nil {
+				onDone(req, resp, size, elapsed)
+			}
+			if onRead != nil {
+				onRead(req, resp, size, elapsed)
+			}
+		})
+		issued++
+		nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+	}
+	nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+}
+
+// FlowSpec is one explicitly scheduled flow arrival.
+type FlowSpec struct {
+	At       sim.Time
+	Src, Dst int
+	Size     int64
+}
+
+// FlowList replays a fixed arrival trace — the simplest custom traffic
+// source.
+type FlowList []FlowSpec
+
+// Install schedules every listed arrival at its absolute time.
+// Arrivals past the env's window (Until > 0) are dropped, matching
+// every other generator's horizon contract.
+func (spec FlowList) Install(nw *topology.Network, env Env) {
+	for _, f := range spec {
+		if env.Until > 0 && f.At > env.Until {
+			continue
+		}
+		f := f
+		start := func() { nw.StartFlow(f.Src, f.Dst, f.Size, env.OnDone) }
+		if f.At <= nw.Eng.Now() {
+			start()
+		} else {
+			nw.Eng.At(f.At, start)
+		}
+	}
+}
+
+// ArrivalFunc is a lazy arrival iterator: called with i = 0, 1, 2, …,
+// it returns the i-th arrival and whether one exists. Arrival times
+// must be nondecreasing; the iterator is pulled one arrival ahead, so
+// unbounded streams cost one pending event at a time.
+type ArrivalFunc func(i int) (FlowSpec, bool)
+
+// Install pulls and schedules arrivals until the iterator ends or the
+// env's arrival window closes.
+func (spec ArrivalFunc) Install(nw *topology.Network, env Env) {
+	var pull func(i int)
+	pull = func(i int) {
+		f, ok := spec(i)
+		if !ok {
+			return
+		}
+		if env.Until > 0 && f.At > env.Until {
+			return
+		}
+		start := func() {
+			nw.StartFlow(f.Src, f.Dst, f.Size, env.OnDone)
+			pull(i + 1)
+		}
+		if f.At <= nw.Eng.Now() {
+			start()
+		} else {
+			nw.Eng.At(f.At, start)
+		}
+	}
+	pull(0)
+}

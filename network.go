@@ -7,6 +7,7 @@ import (
 	"hpcc/internal/experiment"
 	"hpcc/internal/fabric"
 	"hpcc/internal/host"
+	"hpcc/internal/packet"
 	"hpcc/internal/sim"
 	"hpcc/internal/stats"
 	"hpcc/internal/topology"
@@ -23,18 +24,25 @@ func SchemeNames() []string {
 }
 
 // NetConfig describes a simulated fabric for flow-level experiments.
+//
+// It is the legacy string-keyed surface, kept as a thin wrapper over
+// the spec-based Experiment API: every Topology string maps onto the
+// corresponding Topology spec value (Star, Pod, FatTree, ParkingLot).
+// New code should compose an Experiment directly.
 type NetConfig struct {
 	// Scheme is the congestion control to run (see SchemeNames).
 	Scheme string
 	// Topology: "star" (Hosts around one switch), "pod" (the paper's
 	// 32-server dual-homed testbed), "fattree" (three-tier Clos), or
 	// "parkinglot" (multi-bottleneck chain; Hosts counts the segments,
-	// see topology.ParkingLot for the host layout).
+	// see ParkingLot for the host layout).
 	Topology string
 	// Hosts is the host count for "star" (default 17, the §5.4
-	// fixture) or the segment count for "parkinglot" (default 2).
+	// fixture) or the segment count for "parkinglot" (default 2; any
+	// explicit positive value — including 17 — is honored).
 	Hosts int
-	// LinkRateGbps is the NIC speed for "star" (default 100).
+	// LinkRateGbps is the NIC speed for "star" and "parkinglot"
+	// (default 100).
 	LinkRateGbps int
 	// PaperScale builds the full 320-host FatTree instead of the
 	// CI-sized one.
@@ -43,15 +51,41 @@ type NetConfig struct {
 	Seed int64
 }
 
+// topology maps the legacy strings onto Topology specs — the only
+// place the string spellings survive.
+func (cfg NetConfig) topology() (Topology, error) {
+	switch cfg.Topology {
+	case "", "star":
+		return Star{Hosts: cfg.Hosts, LinkRateGbps: cfg.LinkRateGbps}, nil
+	case "pod":
+		return Pod{}, nil
+	case "fattree":
+		if cfg.PaperScale {
+			return PaperFatTree(), nil
+		}
+		return FatTree{}, nil
+	case "parkinglot":
+		segments := cfg.Hosts
+		if segments < 0 {
+			segments = 0
+		}
+		return ParkingLot{Segments: segments, LinkRateGbps: cfg.LinkRateGbps}, nil
+	default:
+		return nil, fmt.Errorf("hpcc: unknown topology %q", cfg.Topology)
+	}
+}
+
 // Network is a running simulated fabric accepting explicit flows — the
-// micro-benchmark surface of the library.
+// micro-benchmark surface of the library. Build one from a legacy
+// NetConfig via NewNetwork, or from composable specs via
+// Experiment.Start.
 type Network struct {
-	eng     *sim.Engine
-	nw      *topology.Network
-	scheme  experiment.Scheme
-	rate    sim.Rate
-	rtt     sim.Time
-	readSeq int32 // READ flow IDs run negative to avoid workload collisions
+	eng    *sim.Engine
+	nw     *topology.Network
+	scheme experiment.Scheme
+	rate   sim.Rate
+	rtt    sim.Time
+	obs    experiment.Obs
 }
 
 // Flow is a handle to one transfer on a Network.
@@ -64,87 +98,14 @@ type Flow struct {
 }
 
 // NewNetwork builds a fabric per cfg. PFC is enabled (lossless), as on
-// the paper's testbed.
+// the paper's testbed. It is a back-compat wrapper over
+// Experiment.Start with the equivalent Topology spec.
 func NewNetwork(cfg NetConfig) (*Network, error) {
-	if cfg.Scheme == "" {
-		cfg.Scheme = "hpcc"
-	}
-	scheme, err := experiment.ByName(cfg.Scheme)
+	topo, err := cfg.topology()
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Hosts == 0 {
-		cfg.Hosts = 17
-	}
-	if cfg.LinkRateGbps == 0 {
-		cfg.LinkRateGbps = 100
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	eng := sim.NewEngine()
-	rateOf := sim.Rate(cfg.LinkRateGbps) * sim.Gbps
-
-	var (
-		rate    sim.Rate
-		baseRTT sim.Time
-		build   func(host.Config, fabric.SwitchConfig) *topology.Network
-	)
-	switch cfg.Topology {
-	case "", "star":
-		topo := experiment.Topo{Kind: "star", N: cfg.Hosts, HostRate: rateOf, Delay: sim.Microsecond}
-		rate, baseRTT = topo.Rate(), topo.BaseRTT()
-		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
-	case "pod":
-		topo := experiment.PodTopo(topology.PodSpec{})
-		rate, baseRTT = topo.Rate(), topo.BaseRTT()
-		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
-	case "fattree":
-		spec := topology.ScaledFatTree()
-		if cfg.PaperScale {
-			spec = topology.PaperFatTree()
-		}
-		topo := experiment.FatTreeTopo(spec)
-		rate, baseRTT = topo.Rate(), topo.BaseRTT()
-		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network { return topo.Build(eng, h, s) }
-	case "parkinglot":
-		segments := cfg.Hosts
-		if segments <= 0 || segments == 17 {
-			segments = 2
-		}
-		rate = rateOf
-		delay := sim.Microsecond
-		baseRTT = 2*sim.Time(segments+2)*delay + 500*sim.Nanosecond
-		build = func(h host.Config, s fabric.SwitchConfig) *topology.Network {
-			return topology.ParkingLot(eng, segments, rate, rate, delay, h, s)
-		}
-	default:
-		return nil, fmt.Errorf("hpcc: unknown topology %q", cfg.Topology)
-	}
-
-	scfg := fabric.SwitchConfig{
-		PFCEnabled: true,
-		INTEnabled: scheme.INT,
-		ECNEnabled: scheme.ECN,
-		Seed:       cfg.Seed,
-	}
-	if scheme.ECN {
-		scfg.KMin = scheme.Kmin(rate)
-		scfg.KMax = scheme.Kmax(rate)
-	}
-	hcfg := host.Config{
-		CC:      scheme.Factory,
-		INT:     scheme.INT,
-		BaseRTT: baseRTT,
-		Seed:    cfg.Seed,
-	}
-	return &Network{
-		eng:    eng,
-		nw:     build(hcfg, scfg),
-		scheme: scheme,
-		rate:   rate,
-		rtt:    baseRTT,
-	}, nil
+	return Experiment{Scheme: cfg.Scheme, Topology: topo, Seed: cfg.Seed}.Start()
 }
 
 // NumHosts returns the host count.
@@ -159,9 +120,33 @@ func (n *Network) BaseRTT() time.Duration { return fromSim(n.rtt) }
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return fromSim(n.eng.Now()) }
 
+// flowDone returns the completion callback wiring manual flows into
+// the attached flow observers (nil when none are attached).
+func (n *Network) flowDone() func(*host.Flow) {
+	if n.obs.OnFlow == nil {
+		return nil
+	}
+	return func(f *host.Flow) {
+		n.obs.OnFlow(experiment.FlowEvent{
+			Src:     n.nw.HostIndex(f.Host().ID()),
+			Dst:     n.nw.HostIndex(f.Dst()),
+			Started: f.Started(),
+			Rec:     n.fctRecord(f.Size(), f.FCT()),
+		})
+	}
+}
+
+func (n *Network) fctRecord(size int64, fct sim.Time) stats.FCTRecord {
+	return stats.FCTRecord{
+		Size:  size,
+		FCT:   fct,
+		Ideal: stats.IdealFCT(size, n.rate, n.rtt, packet.DefaultMTU, n.scheme.INT),
+	}
+}
+
 // StartFlow launches size bytes from host src to host dst immediately.
 func (n *Network) StartFlow(src, dst int, size int64) *Flow {
-	return &Flow{inner: n.nw.StartFlow(src, dst, size, nil), net: n}
+	return &Flow{inner: n.nw.StartFlow(src, dst, size, n.flowDone()), net: n}
 }
 
 // StartFlowAt schedules a flow to begin after delay d. The returned
@@ -170,7 +155,7 @@ func (n *Network) StartFlow(src, dst int, size int64) *Flow {
 func (n *Network) StartFlowAt(d time.Duration, src, dst int, size int64) *Flow {
 	f := &Flow{net: n}
 	n.eng.After(toSim(d), func() {
-		f.inner = n.nw.StartFlow(src, dst, size, nil)
+		f.inner = n.nw.StartFlow(src, dst, size, n.flowDone())
 		if f.onProgress != nil {
 			f.inner.OnProgress = f.onProgress
 		}
@@ -179,12 +164,23 @@ func (n *Network) StartFlowAt(d time.Duration, src, dst int, size int64) *Flow {
 }
 
 // Read issues an RDMA READ (§4.2): host requester pulls size bytes from
-// host responder; the returned channel-free handle reports completion
-// via done, which fires when every byte has arrived at the requester.
+// host responder; done fires when every byte has arrived in order at
+// the requester. Completions also stream to any attached FlowObserver
+// (Src = responder, Dst = requester).
 func (n *Network) Read(requester, responder int, size int64, done func()) {
-	rh := n.nw.Hosts[requester]
-	n.readSeq++
-	rh.Read(-n.readSeq, n.nw.Hosts[responder].ID(), size, 0, done)
+	issued := n.eng.Now()
+	n.nw.StartRead(requester, responder, size, func() {
+		if n.obs.OnFlow != nil {
+			rec := n.fctRecord(size, n.eng.Now()-issued)
+			rec.Ideal += n.rtt / 2 // the request's one-way trip
+			n.obs.OnFlow(experiment.FlowEvent{
+				Src: responder, Dst: requester, Read: true, Started: issued, Rec: rec,
+			})
+		}
+		if done != nil {
+			done()
+		}
+	})
 }
 
 // Run advances virtual time by d.
@@ -195,22 +191,22 @@ func (n *Network) Run(d time.Duration) { n.eng.RunUntil(n.eng.Now() + toSim(d)) 
 // Run instead.
 func (n *Network) RunUntilIdle() { n.eng.Run() }
 
-// QueueTrace samples the total switch-queue backlog every interval for
-// dur and returns (time, bytes) points.
+// QueuePoint is one sample of the total switch-queue backlog.
 type QueuePoint struct {
 	At    time.Duration
 	Bytes int64
 }
 
-// TraceQueues installs a backlog sampler; read the result after Run.
+// TraceQueues installs a backlog sampler over all switch egress ports,
+// streaming each observation into the returned slice as the simulation
+// runs (the same observer feed QueueObserver exposes); read the result
+// after Run.
 func (n *Network) TraceQueues(interval, dur time.Duration) *[]QueuePoint {
 	out := &[]QueuePoint{}
 	mon := stats.NewQueueMonitor(n.eng, n.nw.SwitchPorts(), fabric.PrioData, toSim(interval), n.eng.Now()+toSim(dur))
-	n.eng.At(n.eng.Now()+toSim(dur), func() {
-		for _, tp := range mon.Series {
-			*out = append(*out, QueuePoint{At: fromSim(tp.T), Bytes: int64(tp.V)})
-		}
-	})
+	mon.OnSample = func(tp stats.TimePoint) {
+		*out = append(*out, QueuePoint{At: fromSim(tp.T), Bytes: int64(tp.V)})
+	}
 	return out
 }
 
@@ -248,12 +244,7 @@ func (f *Flow) Slowdown() float64 {
 	if f.inner == nil || !f.inner.Done() {
 		return 0
 	}
-	rec := stats.FCTRecord{
-		Size:  f.inner.Size(),
-		FCT:   f.inner.FCT(),
-		Ideal: stats.IdealFCT(f.inner.Size(), f.net.rate, f.net.rtt, 1000, f.net.scheme.INT),
-	}
-	return rec.Slowdown()
+	return f.net.fctRecord(f.inner.Size(), f.inner.FCT()).Slowdown()
 }
 
 // Stop aborts the flow (for long-running flows that "leave").

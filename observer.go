@@ -1,0 +1,114 @@
+package hpcc
+
+import (
+	"time"
+
+	"hpcc/internal/experiment"
+	"hpcc/internal/stats"
+)
+
+// Observer streams simulation events to user callbacks while an
+// Experiment runs: per-flow completion records (FlowObserver),
+// periodic queue samples (QueueObserver), and PFC pause transitions
+// (PFCObserver). Attach any number to Experiment.Observers; callbacks
+// fire in virtual-time order as the simulation executes.
+//
+// The interface is sealed; the three concrete observers cover the
+// streams the engine exposes.
+type Observer interface {
+	attach(obs *experiment.Obs)
+}
+
+// FlowRecord is one completed transfer as seen by a FlowObserver. For
+// RDMA READs (Read true), Src is the responder (the data source) and
+// Dst the requester, and FCT spans request issue to last response
+// byte.
+type FlowRecord struct {
+	Src, Dst  int
+	Read      bool
+	SizeBytes int64
+	Start     time.Duration
+	FCT       time.Duration
+	// Slowdown is FCT over the flow's ideal FCT on an empty network.
+	Slowdown float64
+}
+
+// FlowObserver streams every completed flow.
+type FlowObserver struct {
+	OnComplete func(FlowRecord)
+}
+
+func (o FlowObserver) attach(obs *experiment.Obs) {
+	if o.OnComplete == nil {
+		return
+	}
+	fn, prev := o.OnComplete, obs.OnFlow
+	obs.OnFlow = func(ev experiment.FlowEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		fn(FlowRecord{
+			Src:       ev.Src,
+			Dst:       ev.Dst,
+			Read:      ev.Read,
+			SizeBytes: ev.Rec.Size,
+			Start:     fromSim(ev.Started),
+			FCT:       fromSim(ev.Rec.FCT),
+			Slowdown:  ev.Rec.Slowdown(),
+		})
+	}
+}
+
+// QueueSample is one periodic observation of the total switch-queue
+// backlog across the monitored (host-facing) egress ports.
+type QueueSample struct {
+	At         time.Duration
+	TotalBytes int64
+}
+
+// QueueObserver streams queue backlog samples taken at the
+// Experiment's queue sampling period.
+type QueueObserver struct {
+	OnSample func(QueueSample)
+}
+
+func (o QueueObserver) attach(obs *experiment.Obs) {
+	if o.OnSample == nil {
+		return
+	}
+	fn, prev := o.OnSample, obs.OnQueue
+	obs.OnQueue = func(tp stats.TimePoint) {
+		if prev != nil {
+			prev(tp)
+		}
+		fn(QueueSample{At: fromSim(tp.T), TotalBytes: int64(tp.V)})
+	}
+}
+
+// PFCEvent is one priority-flow-control pause or resume applied to a
+// switch egress port.
+type PFCEvent struct {
+	At     time.Duration
+	Switch int // switch index in build order
+	Port   int // egress port index at that switch
+	Paused bool
+}
+
+// PFCObserver streams every PFC pause/resume transition at the
+// switches.
+type PFCObserver struct {
+	OnEvent func(PFCEvent)
+}
+
+func (o PFCObserver) attach(obs *experiment.Obs) {
+	if o.OnEvent == nil {
+		return
+	}
+	fn, prev := o.OnEvent, obs.OnPFC
+	obs.OnPFC = func(ev stats.PFCEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		fn(PFCEvent{At: fromSim(ev.At), Switch: ev.Switch, Port: ev.Port, Paused: ev.Paused})
+	}
+}

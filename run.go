@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"time"
 
-	"hpcc/internal/experiment"
 	"hpcc/internal/stats"
-	"hpcc/internal/topology"
-	"hpcc/internal/workload"
 )
 
 // SimConfig describes a whole-cluster load experiment: Poisson traffic
 // from a public flow-size distribution (plus optional incast) on one of
 // the paper's topologies.
+//
+// It is the legacy string-keyed surface, kept as a thin wrapper over
+// the spec-based Experiment API: Topology/Workload strings map onto
+// the corresponding Topology and Traffic spec values. New code should
+// compose an Experiment directly.
 type SimConfig struct {
 	// Scheme is the congestion control (see SchemeNames). Default
 	// "hpcc".
@@ -27,9 +29,9 @@ type SimConfig struct {
 	Load float64
 	// Flows caps the number of generated flows (default 1000).
 	Flows int
-	// Duration is the arrival window (default 20 ms of virtual time).
+	// Duration is the arrival window (default 5 ms of virtual time).
 	Duration time.Duration
-	// Drain is extra time for in-flight flows (default 30 ms).
+	// Drain is extra time for in-flight flows (default 20 ms).
 	Drain time.Duration
 	// Incast adds periodic fan-in events (60-to-1 × 500 KB at 2% of
 	// capacity, scaled down on small fabrics), as in §5.3.
@@ -46,11 +48,16 @@ type SimResult struct {
 	Scheme string
 	// Flows completed; Censored were still in flight at the horizon.
 	Flows, Censored int
-	// SlowdownP50/P95/P99 are FCT-slowdown percentiles over all flows.
+	// SlowdownP50/P95/P99 are FCT-slowdown percentiles over all flows
+	// (0 when no flows completed — see Flows).
 	SlowdownP50, SlowdownP95, SlowdownP99 float64
 	// ShortFlowP99Slowdown covers flows ≤ 7 KB (the latency-sensitive
-	// class the paper highlights).
+	// class the paper highlights). When ShortFlows is 0, it reports 0
+	// rather than NaN, so results always survive encoding/json.
 	ShortFlowP99Slowdown float64
+	// ShortFlows counts the completed flows ≤ 7 KB behind
+	// ShortFlowP99Slowdown.
+	ShortFlows int
 	// QueueP50KB/P99KB/MaxKB are switch-queue percentiles over 10 µs
 	// samples.
 	QueueP50KB, QueueP99KB, QueueMaxKB float64
@@ -58,7 +65,8 @@ type SimResult struct {
 	PFCPauseFraction float64
 	Drops            uint64
 	// BucketP95 maps each flow-size bucket edge to its 95th-percentile
-	// slowdown (the paper's FCT-figure series).
+	// slowdown (the paper's FCT-figure series). Buckets with N == 0
+	// report P95 = 0.
 	BucketP95 []BucketPoint
 }
 
@@ -69,91 +77,71 @@ type BucketPoint struct {
 	N      int
 }
 
-// Run executes a load experiment and summarizes it.
+// Run executes a load experiment and summarizes it. It is a back-compat
+// wrapper composing the equivalent Experiment from the config's
+// strings.
 func Run(cfg SimConfig) (*SimResult, error) {
-	if cfg.Scheme == "" {
-		cfg.Scheme = "hpcc"
-	}
-	scheme, err := experiment.ByName(cfg.Scheme)
-	if err != nil {
-		return nil, err
-	}
-	var topo experiment.Topo
+	var topo Topology
 	switch cfg.Topology {
 	case "", "pod":
-		topo = experiment.PodTopo(topology.PodSpec{})
+		topo = Pod{}
 	case "fattree":
-		spec := topology.ScaledFatTree()
 		if cfg.PaperScale {
-			spec = topology.PaperFatTree()
+			topo = PaperFatTree()
+		} else {
+			topo = FatTree{}
 		}
-		topo = experiment.FatTreeTopo(spec)
 	default:
 		return nil, fmt.Errorf("hpcc: unknown topology %q", cfg.Topology)
 	}
-	var cdf *workload.CDF
-	var edges []int64
+	var cdf CDF
 	switch cfg.Workload {
 	case "", "websearch":
-		cdf, edges = workload.WebSearch(), stats.WebSearchEdges()
+		cdf = WebSearchCDF()
 	case "fbhadoop":
-		cdf, edges = workload.FBHadoop(), stats.FBHadoopEdges()
+		cdf = FBHadoopCDF()
 	default:
 		return nil, fmt.Errorf("hpcc: unknown workload %q (want websearch or fbhadoop)", cfg.Workload)
 	}
 	if cfg.Load == 0 {
 		cfg.Load = 0.3
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	sc := experiment.LoadScenario{
-		Scheme:   scheme,
-		Topo:     topo,
-		CDF:      cdf,
-		Load:     cfg.Load,
-		MaxFlows: cfg.Flows,
-		Until:    toSim(cfg.Duration),
-		Drain:    toSim(cfg.Drain),
-		PFC:      cfg.Lossless == nil || *cfg.Lossless,
-		Seed:     cfg.Seed,
-	}
+	traffic := []Traffic{Poisson{CDF: cdf, Load: cfg.Load}}
 	if cfg.Incast {
 		fanIn := 60
 		if cfg.Topology == "pod" || cfg.Topology == "" {
 			fanIn = 16
 		}
-		sc.Incast = &experiment.Incast{FanIn: fanIn, Size: 500_000, LoadFrac: 0.02}
+		traffic = append(traffic, Incast{FanIn: fanIn, FlowSizeBytes: 500_000, LoadFraction: 0.02})
 	}
-	r := experiment.RunLoad(sc)
-
-	sl := r.FCT.Slowdowns()
-	out := &SimResult{
-		Scheme:               r.Scheme,
-		Flows:                len(r.FCT.Records),
-		Censored:             r.Censored,
-		SlowdownP50:          stats.Percentile(sl, 50),
-		SlowdownP95:          stats.Percentile(sl, 95),
-		SlowdownP99:          stats.Percentile(sl, 99),
-		ShortFlowP99Slowdown: shortP99(&r.FCT, 7_000),
-		QueueP50KB:           r.Queue.P50 / 1024,
-		QueueP99KB:           r.Queue.P99 / 1024,
-		QueueMaxKB:           r.Queue.Max / 1024,
-		PFCPauseFraction:     r.PauseFrac,
-		Drops:                r.Drops,
-	}
-	for _, row := range r.FCT.Buckets(edges) {
-		out.BucketP95 = append(out.BucketP95, BucketPoint{SizeHi: row.Hi, P95: row.Stats.P95, N: row.Stats.N})
-	}
-	return out, nil
+	return Experiment{
+		Scheme:   cfg.Scheme,
+		Topology: topo,
+		Traffic:  traffic,
+		Horizon:  cfg.Duration,
+		Drain:    cfg.Drain,
+		MaxFlows: cfg.Flows,
+		Lossless: cfg.Lossless,
+		Seed:     cfg.Seed,
+	}.Run()
 }
 
-func shortP99(set *stats.FCTSet, limit int64) float64 {
+// percentileOrZero is stats.Percentile with the empty-set NaN mapped
+// to 0 (the caller reports the sample count alongside).
+func percentileOrZero(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.Percentile(xs, p)
+}
+
+// shortSlowdowns collects the slowdowns of flows no larger than limit.
+func shortSlowdowns(set *stats.FCTSet, limit int64) ([]float64, int) {
 	var xs []float64
 	for _, rec := range set.Records {
 		if rec.Size <= limit {
 			xs = append(xs, rec.Slowdown())
 		}
 	}
-	return stats.Percentile(xs, 99)
+	return xs, len(xs)
 }

@@ -1,0 +1,80 @@
+package hpcc
+
+import (
+	"testing"
+	"time"
+
+	"hpcc/internal/sim"
+)
+
+// The standalone Sender's Env.Schedule used to be a silent no-op; now
+// timers queue and Advance drains them in due-time order.
+func TestSenderTimerQueue(t *testing.T) {
+	var clock time.Duration
+	s := NewSender(SenderConfig{LineRateBps: 100e9, BaseRTT: 10 * time.Microsecond},
+		func() time.Duration { return clock })
+
+	var fired []int
+	s.schedule(30*sim.Microsecond, func() { fired = append(fired, 3) })
+	s.schedule(10*sim.Microsecond, func() { fired = append(fired, 1) })
+	s.schedule(20*sim.Microsecond, func() {
+		fired = append(fired, 2)
+		// A callback may schedule again; due timers run in the same
+		// Advance call.
+		s.schedule(5*sim.Microsecond, func() { fired = append(fired, 4) })
+	})
+	if s.PendingTimers() != 3 {
+		t.Fatalf("pending = %d, want 3", s.PendingTimers())
+	}
+
+	clock = 5 * time.Microsecond
+	s.Advance(clock)
+	if len(fired) != 0 {
+		t.Fatalf("timers fired early: %v", fired)
+	}
+	// At 25 µs timers 1 and 2 are due; timer 2 re-schedules 5 µs out
+	// (due 30 µs), so it must not fire yet.
+	clock = 25 * time.Microsecond
+	s.Advance(clock)
+	if want := []int{1, 2}; !equalInts(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	// At 1 ms the remaining timers fire in due-time order: 3 (30 µs,
+	// queued first) then 4 (30 µs, queued later).
+	clock = time.Millisecond
+	s.Advance(clock)
+	if want := []int{1, 2, 3, 4}; !equalInts(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	if s.PendingTimers() != 0 {
+		t.Fatalf("pending = %d after drain", s.PendingTimers())
+	}
+}
+
+// Equal due times fire FIFO.
+func TestSenderTimerFIFO(t *testing.T) {
+	var clock time.Duration
+	s := NewSender(SenderConfig{LineRateBps: 100e9, BaseRTT: 10 * time.Microsecond},
+		func() time.Duration { return clock })
+	var fired []int
+	for i := 0; i < 4; i++ {
+		i := i
+		s.schedule(10*sim.Microsecond, func() { fired = append(fired, i) })
+	}
+	s.Advance(10 * time.Microsecond)
+	if want := []int{0, 1, 2, 3}; !equalInts(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
