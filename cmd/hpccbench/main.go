@@ -3,17 +3,25 @@
 // 16:1 incast, and a parking-lot chain), and reports how fast the
 // simulator itself runs — events/sec, simulated packets/sec, and heap
 // allocations per packet. Its JSON output is the recorded perf
-// trajectory (BENCH_PR2.json and successors); CI runs `-quick` as a
-// smoke test and uploads the artifact.
+// trajectory (BENCH_PR2.json, BENCH_PR4.json and successors); CI runs
+// `-quick` as a smoke test and uploads the artifact.
+//
+// The FatTree scenario runs three ways: the default binary-heap
+// scheduler, the calendar-queue scheduler, and sharded across
+// -shards engines (conservative-lookahead partitioning) — all three
+// produce byte-identical simulation results, so the numbers compare
+// pure engine mechanics. -paper adds the full 320-host paper-scale
+// fabric (the ROADMAP wall-clock target).
 //
 // Usage:
 //
-//	hpccbench [-quick] [-label name] [-out bench.json]
+//	hpccbench [-quick] [-paper] [-shards n] [-label name] [-out bench.json] [-baseline old.json]
 //
-// Numbers are wall-clock sensitive: compare runs taken on the same
-// machine. Allocations per packet, in contrast, are deterministic and
-// machine-independent; regressions there are also guarded by
-// testing.AllocsPerRun tests in internal/fabric and internal/host.
+// With -baseline, the run fails (exit 1) if any scenario's
+// allocs/packet regresses materially against the same-named scenario
+// in the baseline file — the CI guard for the zero-allocation hot
+// path. Wall-clock numbers are machine-sensitive; allocs/packet is
+// deterministic and machine-independent.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 // ScenarioResult is one scenario's measurement.
 type ScenarioResult struct {
 	Name            string  `json:"name"`
+	Shards          int     `json:"shards,omitempty"`
 	WallMS          float64 `json:"wall_ms"`
 	SimulatedMS     float64 `json:"simulated_ms"`
 	Events          uint64  `json:"events"`
@@ -63,28 +72,48 @@ type outcome struct {
 	dataPkts uint64
 	portPkts uint64
 	flows    int
+	shards   int
 	simTime  sim.Time
 }
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced sizes for CI smoke runs")
-		label = flag.String("label", "", "label recorded in the JSON output")
-		out   = flag.String("out", "", "write JSON to this file (default: stdout table only)")
+		quick    = flag.Bool("quick", false, "reduced sizes for CI smoke runs")
+		paper    = flag.Bool("paper", false, "add the full 320-host paper-scale FatTree scenarios (slow)")
+		shards   = flag.Int("shards", 2, "shard count for the sharded FatTree scenarios (<2 disables them)")
+		label    = flag.String("label", "", "label recorded in the JSON output")
+		out      = flag.String("out", "", "write JSON to this file (default: stdout table only)")
+		baseline = flag.String("baseline", "", "prior bench JSON; exit 1 if allocs/packet regresses against it")
 	)
 	flag.Parse()
 
 	run := Run{Label: *label, Quick: *quick, GoVersion: runtime.Version(), Procs: runtime.GOMAXPROCS(0)}
-	run.Scenarios = append(run.Scenarios,
-		measure("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick) }),
-		measure("incast-16-1", func() outcome { return incast16(*quick) }),
-		measure("parkinglot-4seg", func() outcome { return parkingLot(*quick) }),
-	)
+	add := func(name string, fn func() outcome) {
+		run.Scenarios = append(run.Scenarios, measure(name, fn))
+	}
+	add("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick, false, 1) })
+	add("fattree-websearch-50-calendar", func() outcome { return fattreeWebSearch(*quick, true, 1) })
+	if *shards > 1 {
+		add(fmt.Sprintf("fattree-websearch-50-shards%d", *shards),
+			func() outcome { return fattreeWebSearch(*quick, false, *shards) })
+	}
+	add("incast-16-1", func() outcome { return incast16(*quick) })
+	add("parkinglot-4seg", func() outcome { return parkingLot(*quick) })
+	if *paper {
+		add("paper-fattree-websearch", func() outcome { return paperFatTree(false, 1) })
+		add("paper-fattree-websearch-calendar", func() outcome { return paperFatTree(true, 1) })
+		if *shards > 1 {
+			// Calendar engines under sharding: the name encodes both
+			// knobs so the row is not read as sharding alone.
+			add(fmt.Sprintf("paper-fattree-websearch-calendar-shards%d", *shards),
+				func() outcome { return paperFatTree(true, *shards) })
+		}
+	}
 
-	fmt.Printf("%-22s %10s %12s %12s %14s %14s %10s\n",
+	fmt.Printf("%-34s %10s %12s %12s %14s %14s %10s\n",
 		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt")
 	for _, s := range run.Scenarios {
-		fmt.Printf("%-22s %10.1f %12d %12.0f %14d %14.0f %10.3f\n",
+		fmt.Printf("%-34s %10.1f %12d %12.0f %14d %14.0f %10.3f\n",
 			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket)
 	}
 
@@ -98,6 +127,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *baseline != "" {
+		if err := gateAllocs(run, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "hpccbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gateAllocs compares allocs/packet per scenario against a baseline
+// file (either a bare Run or a {before, after} record like
+// BENCH_PR2.json, where "after" is the baseline). Wall-clock never
+// gates — only the deterministic allocation counts do. Baselines are
+// recorded from full runs; quick runs amortize fixed startup
+// allocations over far fewer packets, so the quick gate is looser.
+func gateAllocs(run Run, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var wrapped struct {
+		After *Run `json:"after"`
+	}
+	var base Run
+	if err := json.Unmarshal(buf, &wrapped); err == nil && wrapped.After != nil {
+		base = *wrapped.After
+	} else if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	byName := map[string]ScenarioResult{}
+	for _, s := range base.Scenarios {
+		byName[s.Name] = s
+	}
+	slack, bias := 1.25, 0.02
+	if run.Quick && !base.Quick {
+		slack, bias = 2.0, 0.75
+	}
+	for _, s := range run.Scenarios {
+		b, ok := byName[s.Name]
+		if !ok {
+			continue
+		}
+		if limit := b.AllocsPerPacket*slack + bias; s.AllocsPerPacket > limit {
+			return fmt.Errorf("allocs/packet regression in %s: %.3f > limit %.3f (baseline %.3f)",
+				s.Name, s.AllocsPerPacket, limit, b.AllocsPerPacket)
+		}
+	}
+	fmt.Printf("allocs/packet gate vs %s: ok\n", path)
+	return nil
 }
 
 // measure runs fn with the engine meter attached and GC counters
@@ -117,6 +194,7 @@ func measure(name string, fn func() outcome) ScenarioResult {
 	bytes := m1.TotalAlloc - m0.TotalAlloc
 	r := ScenarioResult{
 		Name:        name,
+		Shards:      oc.shards,
 		WallMS:      float64(wall.Nanoseconds()) / 1e6,
 		SimulatedMS: oc.simTime.Seconds() * 1e3,
 		Events:      meter.Events(),
@@ -138,7 +216,9 @@ func measure(name string, fn func() outcome) ScenarioResult {
 
 // fattreeWebSearch is the paper's §5.3 setup at half scale: WebSearch
 // Poisson arrivals at 50% load on the CI-sized FatTree, HPCC with INT.
-func fattreeWebSearch(quick bool) outcome {
+// The calendar and shards knobs swap engine mechanics without changing
+// results.
+func fattreeWebSearch(quick, calendar bool, shards int) outcome {
 	s := experiment.LoadScenario{
 		Scheme:   mustScheme("hpcc"),
 		Topo:     experiment.FatTreeTopo(topology.ScaledFatTree()),
@@ -148,6 +228,8 @@ func fattreeWebSearch(quick bool) outcome {
 		Drain:    20 * sim.Millisecond,
 		PFC:      true,
 		Seed:     1,
+		Calendar: calendar,
+		Shards:   shards,
 	}
 	if quick {
 		s.MaxFlows = 200
@@ -155,7 +237,32 @@ func fattreeWebSearch(quick bool) outcome {
 		s.Drain = 10 * sim.Millisecond
 	}
 	r := experiment.RunLoad(s)
-	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started, simTime: r.Elapsed}
+	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started,
+		shards: r.Shards, simTime: r.Elapsed}
+}
+
+// paperFatTree is the ROADMAP scale target: WebSearch at 50% load on
+// the full 320-host, 16-core/20-agg/20-ToR paper fabric.
+func paperFatTree(calendar bool, shards int) outcome {
+	s := experiment.LoadScenario{
+		Scheme:      mustScheme("hpcc"),
+		Topo:        experiment.FatTreeTopo(topology.PaperFatTree()),
+		Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.5}},
+		MaxFlows:    12_000,
+		Until:       8 * sim.Millisecond,
+		Drain:       20 * sim.Millisecond,
+		PFC:         true,
+		Seed:        1,
+		Calendar:    calendar,
+		Shards:      shards,
+		BufferBytes: experiment.BufferFor(320),
+		// Paper-scale runs hold hundreds of thousands of flows over a
+		// campaign; bound per-host retention like a long campaign would.
+		CompletedWindow: 256,
+	}
+	r := experiment.RunLoad(s)
+	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started,
+		shards: r.Shards, simTime: r.Elapsed}
 }
 
 // incast16 runs repeated 16-to-1 fan-in rounds of 100 KB per sender on
@@ -191,7 +298,7 @@ func incast16(quick bool) outcome {
 	}
 	startRound()
 	eng.Run()
-	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, simTime: eng.Now()}
+	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, shards: 1, simTime: eng.Now()}
 }
 
 // parkingLot runs the §3.2 multi-bottleneck chain: one long flow across
@@ -218,7 +325,7 @@ func parkingLot(quick bool) outcome {
 		nw.StartFlow(2+2*i, 3+2*i, size, nil)
 	}
 	eng.Run()
-	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, simTime: eng.Now()}
+	return outcome{dataPkts: flowPackets(nw), portPkts: portPackets(nw), flows: flows, shards: 1, simTime: eng.Now()}
 }
 
 func flowPackets(nw *topology.Network) uint64 {

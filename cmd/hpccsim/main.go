@@ -31,6 +31,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Millisecond, "extra drain time")
 		incast   = flag.Bool("incast", false, "add periodic fan-in events (2% of capacity)")
 		lossy    = flag.Bool("lossy", false, "disable PFC (go-back-N recovery)")
+		shards   = flag.Int("shards", 1, "partition the fabric across this many engines (multi-core; byte-identical results)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		asJSON   = flag.Bool("json", false, "emit the result as one JSON document")
 	)
@@ -48,6 +49,7 @@ func main() {
 		Drain:      *drain,
 		Incast:     *incast,
 		Lossless:   &lossless,
+		Shards:     *shards,
 		Seed:       *seed,
 	})
 	if err != nil {

@@ -56,6 +56,32 @@ type Experiment struct {
 	// Observers stream per-flow records, queue samples and PFC events
 	// while the simulation runs.
 	Observers []Observer
+	// Shards requests multi-core execution of this one experiment: the
+	// fabric is partitioned into per-cluster engines (per-rack on the
+	// FatTree) synchronized by conservative lookahead, so Run can use up
+	// to Shards cores for a single large scenario. Best-effort: when the
+	// topology does not partition (Star), the traffic is closed-loop
+	// (AllToAll, RPC), or Observers are attached, Run falls back to one
+	// engine.
+	//
+	// Determinism contract: a sharded run is a pure function of the
+	// Experiment (same spec + Seed + Shards → identical bytes, on any
+	// machine). It also replays the single-engine run exactly — flow
+	// IDs, arrival scheduling and cross-shard wire arming are all
+	// reconstructed — verified byte-for-byte by golden tests on the
+	// dumbbell, Pod and CI FatTree configurations. The one theoretical
+	// exception: when two saturated links in different shards deliver
+	// into one node at the same picosecond, the tie's winner can differ
+	// from the single-engine interleaving (a conservative-lookahead
+	// limit), shifting results at picosecond granularity; runs remain
+	// deterministic and statistically indistinguishable. Start always
+	// drives a single engine.
+	Shards int
+	// CompletedFlowWindow, when positive, bounds per-host memory over
+	// long campaigns: each host retains at most this many completed
+	// flows, folding older ones into aggregate counters. Results are
+	// unchanged; only post-run per-flow inspection is truncated.
+	CompletedFlowWindow int
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 }
@@ -90,14 +116,16 @@ func (e Experiment) scenario() (experiment.LoadScenario, []int64, error) {
 		e.Seed = 1
 	}
 	sc := experiment.LoadScenario{
-		Scheme:   scheme,
-		Topo:     spec,
-		Traffic:  gens,
-		MaxFlows: e.MaxFlows,
-		Until:    toSim(e.Horizon),
-		Drain:    toSim(e.Drain),
-		PFC:      e.Lossless == nil || *e.Lossless,
-		Seed:     e.Seed,
+		Scheme:          scheme,
+		Topo:            spec,
+		Traffic:         gens,
+		MaxFlows:        e.MaxFlows,
+		Until:           toSim(e.Horizon),
+		Drain:           toSim(e.Drain),
+		PFC:             e.Lossless == nil || *e.Lossless,
+		Seed:            e.Seed,
+		Shards:          e.Shards,
+		CompletedWindow: e.CompletedFlowWindow,
 	}
 	for _, o := range e.Observers {
 		if o != nil {

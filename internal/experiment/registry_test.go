@@ -18,6 +18,7 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14",
 		"ablations-eta", "ablations-quant", "theory",
 		"extra-fbsweep", "extra-parkinglot",
+		"extra-hadoop-incast", "extra-rpc-fattree",
 	}
 	var got []string
 	for _, s := range All() {

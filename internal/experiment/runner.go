@@ -83,8 +83,34 @@ type LoadScenario struct {
 	// precision (ASIC emulation ablation).
 	INTQuantize bool
 
+	// Shards > 1 requests sharded execution: the fabric is partitioned
+	// into per-cluster engines synchronized by conservative lookahead,
+	// using up to Shards cores for one scenario. Best-effort: when the
+	// topology does not partition, the traffic is closed-loop (AllToAll,
+	// RPC), or observers are attached, the run falls back to one engine.
+	// Sharded runs are deterministic and replay the single-engine run
+	// byte-for-byte up to same-picosecond cross-shard delivery ties
+	// (see hpcc.Experiment.Shards for the exact contract).
+	Shards int
+	// Calendar selects the calendar-queue event scheduler instead of the
+	// binary heap — same fire order (so identical results), better
+	// constants with >100K pending events.
+	Calendar bool
+	// CompletedWindow, when positive, bounds per-host memory on long
+	// runs: each host retains at most this many completed flows, evicting
+	// the oldest into aggregate counters.
+	CompletedWindow int
+
 	// Obs streams per-flow, queue and PFC events to observers.
 	Obs Obs
+}
+
+// newEngine builds an engine with the scenario's scheduler choice.
+func (s *LoadScenario) newEngine() *sim.Engine {
+	if s.Calendar {
+		return sim.NewEngineWith(sim.NewCalendar())
+	}
+	return sim.NewEngine()
 }
 
 func (s *LoadScenario) normalize() {
@@ -129,6 +155,9 @@ type LoadResult struct {
 	Started   int // flows started
 	Censored  int // flows still unfinished at the horizon
 	Elapsed   sim.Time
+	// Shards is how many engines actually executed the run (1 unless
+	// sharded execution was requested and engaged).
+	Shards int
 
 	// DataPackets counts data packets emitted by every sender flow
 	// (retransmissions included); PortPackets counts packets serialized
@@ -169,11 +198,12 @@ func (s *LoadScenario) build(eng *sim.Engine) *topology.Network {
 		scfg.KMax = s.Scheme.Kmax(rate)
 	}
 	hcfg := host.Config{
-		CC:      s.Scheme.Factory,
-		FlowCtl: s.FlowCtl,
-		INT:     s.Scheme.INT,
-		BaseRTT: s.Topo.BaseRTT(),
-		Seed:    s.Seed,
+		CC:              s.Scheme.Factory,
+		FlowCtl:         s.FlowCtl,
+		INT:             s.Scheme.INT,
+		BaseRTT:         s.Topo.BaseRTT(),
+		Seed:            s.Seed,
+		CompletedWindow: s.CompletedWindow,
 	}
 	return s.Topo.Build(eng, hcfg, scfg)
 }
@@ -238,12 +268,20 @@ func (s *LoadScenario) installTraffic(eng *sim.Engine, nw *topology.Network, fct
 }
 
 // RunLoad executes the scenario to its horizon and collects results.
+// With Shards > 1 it partitions the fabric across per-cluster engines
+// (falling back to one engine when the scenario cannot shard); results
+// are byte-identical either way.
 func RunLoad(s LoadScenario) *LoadResult {
 	s.normalize()
-	eng := sim.NewEngine()
+	if s.Shards > 1 {
+		if res, ok := runLoadSharded(s); ok {
+			return res
+		}
+	}
+	eng := s.newEngine()
 	nw := s.build(eng)
 
-	res := &LoadResult{Scheme: s.Scheme.Name}
+	res := &LoadResult{Scheme: s.Scheme.Name, Shards: 1}
 	s.installTraffic(eng, nw, &res.FCT)
 	mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
 	mon.OnSample = s.Obs.OnQueue
@@ -256,10 +294,21 @@ func RunLoad(s LoadScenario) *LoadResult {
 	for i, v := range mon.Samples {
 		res.QueueKB[i] = v / 1024
 	}
-	res.PauseFrac = stats.PFCPauseFraction(nw.Switches, fabric.PrioData, s.Until+s.Drain)
-	res.Drops = nw.TotalDrops()
+	collectFabric(res, nw, s.Until+s.Drain)
 	res.Elapsed = eng.Now()
+	return res
+}
+
+// collectFabric gathers the post-run counters shared by the single and
+// sharded paths: PFC pause, drops, per-flow and per-port packet counts
+// (including flows already evicted into host aggregate counters).
+func collectFabric(res *LoadResult, nw *topology.Network, elapsed sim.Time) {
+	res.PauseFrac = stats.PFCPauseFraction(nw.Switches, fabric.PrioData, elapsed)
+	res.Drops = nw.TotalDrops()
 	for _, h := range nw.Hosts {
+		evicted, pkts := h.EvictedFlows()
+		res.Started += evicted
+		res.DataPackets += pkts
 		for _, f := range h.Flows() {
 			res.Started++
 			res.DataPackets += f.PacketsSent()
@@ -274,7 +323,6 @@ func RunLoad(s LoadScenario) *LoadResult {
 	for _, p := range nw.SwitchPorts() {
 		res.PortPackets += p.PacketsSent()
 	}
-	return res
 }
 
 // ManualNet is a built-but-not-run scenario: the fabric with traffic

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"hpcc/internal/fabric"
+	"hpcc/internal/host"
+	"hpcc/internal/packet"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+// runLoadSharded executes a load scenario across per-partition engines
+// with conservative lookahead. It engages only when the run can be
+// proven byte-identical to the single-engine execution:
+//
+//   - the traffic is open-loop, so the full arrival schedule — and the
+//     exact flow-ID sequence the lazy single-engine install would
+//     assign — is computable up front (workload.PlanArrivals);
+//   - the topology splits into ≥2 host clusters joined by positive-
+//     delay links (topology.Shard), giving the lookahead;
+//   - no streaming observers are attached (their callbacks would
+//     otherwise run concurrently on shard goroutines).
+//
+// Anything else returns !ok and RunLoad falls back to one engine.
+func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
+	if s.Obs.OnFlow != nil || s.Obs.OnQueue != nil || s.Obs.OnPFC != nil {
+		return nil, false
+	}
+	for _, g := range s.Traffic {
+		if !workload.CanPlan(g) {
+			// Cheap refusal before building anything: the fallback path
+			// builds its own fabric.
+			return nil, false
+		}
+	}
+	rate := s.Topo.Rate()
+	baseRTT := s.Topo.BaseRTT()
+	eng0 := s.newEngine()
+	nw := s.build(eng0)
+	plan, ok := workload.PlanArrivals(s.Traffic, len(nw.Hosts), workload.Env{
+		HostRate: rate,
+		Until:    s.Until,
+		MaxFlows: s.MaxFlows,
+		Seed:     s.Seed,
+	})
+	if !ok {
+		return nil, false
+	}
+	sh, err := topology.Shard(nw, s.Shards, s.newEngine)
+	if err != nil {
+		return nil, false
+	}
+	k := len(sh.Engines)
+
+	// Per-shard FCT collection: completion callbacks run on the owning
+	// shard's goroutine, so each shard appends to its own set; the sets
+	// are concatenated in shard order afterwards. Every consumer of the
+	// record list (percentiles, buckets) is order-independent, so the
+	// merged aggregate equals the single-engine one.
+	fcts := make([]stats.FCTSet, k)
+	dones := make([]func(*host.Flow), k)
+	for i := range dones {
+		set := &fcts[i]
+		dones[i] = func(f *host.Flow) {
+			set.Add(stats.FCTRecord{
+				Size:  f.Size(),
+				FCT:   f.FCT(),
+				Ideal: stats.IdealFCT(f.Size(), rate, baseRTT, packet.DefaultMTU, s.Scheme.INT),
+			})
+		}
+	}
+	for _, pf := range plan {
+		shard := sh.HostShard[pf.Src]
+		done := dones[shard]
+		if pf.At < 0 {
+			// Inline arrival: the lazy install starts it during Install.
+			nw.StartFlowID(pf.ID, pf.Src, pf.Dst, pf.Size, done)
+			continue
+		}
+		pf := pf
+		eng := sh.Engines[shard]
+		start := func() { nw.StartFlowID(pf.ID, pf.Src, pf.Dst, pf.Size, done) }
+		if pf.SchedAt > 0 {
+			// Replay the lazy chain's scheduling instant, so the
+			// arrival event's tie-break position on this engine matches
+			// the single-engine run.
+			eng.At(pf.SchedAt, func() { eng.At(pf.At, start) })
+		} else {
+			eng.At(pf.At, start)
+		}
+	}
+
+	// One queue monitor per shard over that shard's edge ports: the
+	// same ports sampled at the same instants as the single monitor
+	// would, so the pooled sample multiset is identical.
+	edge := nw.EdgePorts()
+	mons := make([]*stats.QueueMonitor, k)
+	for i := 0; i < k; i++ {
+		var ports []*fabric.Port
+		for _, p := range edge {
+			if sh.NodeShard[p.Owner().ID()] == i {
+				ports = append(ports, p)
+			}
+		}
+		mons[i] = stats.NewQueueMonitor(sh.Engines[i], ports, fabric.PrioData, s.QueueSample, s.Until)
+	}
+
+	sh.Group.RunUntil(s.Until + s.Drain)
+
+	res := &LoadResult{Scheme: s.Scheme.Name, Shards: k}
+	var samples []float64
+	for _, m := range mons {
+		m.Stop()
+		samples = append(samples, m.Samples...)
+	}
+	res.Queue = stats.Summarize(samples)
+	res.QueueKB = make([]float64, len(samples))
+	for i, v := range samples {
+		res.QueueKB[i] = v / 1024
+	}
+	for i := range fcts {
+		res.FCT.Records = append(res.FCT.Records, fcts[i].Records...)
+	}
+	collectFabric(res, nw, s.Until+s.Drain)
+	res.Elapsed = sh.Engines[0].Now()
+	return res, true
+}

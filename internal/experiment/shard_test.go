@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hpcc/internal/sim"
+	"hpcc/internal/stats"
+	"hpcc/internal/topology"
+	"hpcc/internal/workload"
+)
+
+func dumbbellScenario(shards int, calendar bool) LoadScenario {
+	return LoadScenario{
+		Scheme: ByNameMust("hpcc"),
+		Topo: topology.DumbbellSpec{Pairs: 4, HostRate: 100 * sim.Gbps,
+			CoreRate: 100 * sim.Gbps, Delay: sim.Microsecond},
+		Traffic: []workload.Generator{
+			workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.6},
+			workload.IncastSpec{FanIn: 3, Size: 200_000, LoadFrac: 0.02},
+		},
+		MaxFlows: 150,
+		Until:    2 * sim.Millisecond,
+		Drain:    10 * sim.Millisecond,
+		PFC:      true,
+		Seed:     3,
+		Shards:   shards,
+		Calendar: calendar,
+	}
+}
+
+// canonicalize sorts the order-independent record and sample lists so
+// runs that collect them in different (but equivalent) orders compare
+// byte-for-byte.
+func canonicalize(r *LoadResult) {
+	sort.Slice(r.FCT.Records, func(i, j int) bool {
+		a, b := r.FCT.Records[i], r.FCT.Records[j]
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.FCT != b.FCT {
+			return a.FCT < b.FCT
+		}
+		return a.Ideal < b.Ideal
+	})
+	sort.Float64s(r.QueueKB)
+}
+
+func compareRuns(t *testing.T, name string, base, got *LoadResult) {
+	t.Helper()
+	canonicalize(base)
+	canonicalize(got)
+	if len(got.FCT.Records) != len(base.FCT.Records) {
+		t.Fatalf("%s: %d FCT records, want %d", name, len(got.FCT.Records), len(base.FCT.Records))
+	}
+	for i := range base.FCT.Records {
+		if got.FCT.Records[i] != base.FCT.Records[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", name, i, got.FCT.Records[i], base.FCT.Records[i])
+		}
+	}
+	if len(got.QueueKB) != len(base.QueueKB) {
+		t.Fatalf("%s: %d queue samples, want %d", name, len(got.QueueKB), len(base.QueueKB))
+	}
+	for i := range base.QueueKB {
+		if got.QueueKB[i] != base.QueueKB[i] {
+			t.Fatalf("%s: queue sample %d = %v, want %v", name, i, got.QueueKB[i], base.QueueKB[i])
+		}
+	}
+	if got.Queue != base.Queue {
+		t.Fatalf("%s: queue summary %+v, want %+v", name, got.Queue, base.Queue)
+	}
+	if got.PauseFrac != base.PauseFrac && !(math.IsNaN(got.PauseFrac) && math.IsNaN(base.PauseFrac)) {
+		t.Fatalf("%s: pause %v, want %v", name, got.PauseFrac, base.PauseFrac)
+	}
+	if got.Drops != base.Drops || got.Started != base.Started ||
+		got.Censored != base.Censored || got.DataPackets != base.DataPackets ||
+		got.PortPackets != base.PortPackets || got.Elapsed != base.Elapsed {
+		t.Fatalf("%s: counters (drops %d started %d censored %d data %d port %d elapsed %v)"+
+			" want (drops %d started %d censored %d data %d port %d elapsed %v)",
+			name, got.Drops, got.Started, got.Censored, got.DataPackets, got.PortPackets, got.Elapsed,
+			base.Drops, base.Started, base.Censored, base.DataPackets, base.PortPackets, base.Elapsed)
+	}
+}
+
+// The golden sharding contract: 2-shard and 4-shard dumbbell runs are
+// byte-identical to the single-engine run at the same seed.
+func TestShardedDumbbellGolden(t *testing.T) {
+	base := RunLoad(dumbbellScenario(1, false))
+	if base.Shards != 1 || len(base.FCT.Records) == 0 {
+		t.Fatalf("baseline: shards=%d records=%d", base.Shards, len(base.FCT.Records))
+	}
+	for _, k := range []int{2, 4} {
+		got := RunLoad(dumbbellScenario(k, false))
+		if got.Shards != 2 { // a dumbbell has exactly 2 host clusters
+			t.Fatalf("%d-shard run engaged %d shards, want 2", k, got.Shards)
+		}
+		compareRuns(t, "dumbbell-shards", base, got)
+	}
+}
+
+// The calendar-queue scheduler must not change results either — same
+// fire order, different structure.
+func TestCalendarSchedulerGolden(t *testing.T) {
+	base := RunLoad(dumbbellScenario(1, false))
+	cal := RunLoad(dumbbellScenario(1, true))
+	compareRuns(t, "calendar", base, cal)
+	// And combined: sharded execution on calendar engines.
+	both := RunLoad(dumbbellScenario(2, true))
+	compareRuns(t, "calendar+shards", base, both)
+}
+
+// Sharding the CI FatTree (multi-hop boundaries through aggs and
+// cores, ECMP in play) must also match the single-engine run.
+func TestShardedFatTreeGolden(t *testing.T) {
+	mk := func(shards int) LoadScenario {
+		return LoadScenario{
+			Scheme:      ByNameMust("hpcc"),
+			Topo:        FatTreeTopo(topology.ScaledFatTree()),
+			Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.5}},
+			MaxFlows:    120,
+			Until:       sim.Millisecond,
+			Drain:       10 * sim.Millisecond,
+			PFC:         true,
+			Seed:        1,
+			BufferBytes: BufferFor(32),
+			Shards:      shards,
+		}
+	}
+	base := RunLoad(mk(1))
+	if len(base.FCT.Records) == 0 {
+		t.Fatal("baseline produced no flows")
+	}
+	for _, k := range []int{2, 4} {
+		got := RunLoad(mk(k))
+		if got.Shards != k {
+			t.Fatalf("requested %d shards, engaged %d", k, got.Shards)
+		}
+		compareRuns(t, "fattree-shards", base, got)
+	}
+}
+
+// Closed-loop traffic and observer attachment both fall back to a
+// single engine — silently, with identical results.
+func TestShardedFallbacks(t *testing.T) {
+	s := dumbbellScenario(2, false)
+	s.Traffic = append(s.Traffic, workload.AllToAllSpec{Size: 5_000})
+	r := RunLoad(s)
+	if r.Shards != 1 {
+		t.Fatalf("closed-loop traffic ran on %d shards, want fallback to 1", r.Shards)
+	}
+
+	s2 := dumbbellScenario(2, false)
+	var qs []stats.TimePoint
+	s2.Obs.OnQueue = func(tp stats.TimePoint) { qs = append(qs, tp) }
+	r2 := RunLoad(s2)
+	if r2.Shards != 1 {
+		t.Fatalf("observer run used %d shards, want fallback to 1", r2.Shards)
+	}
+	if len(qs) == 0 {
+		t.Fatal("observer saw no samples in fallback mode")
+	}
+
+	// Star does not partition: fallback too.
+	s3 := dumbbellScenario(2, false)
+	s3.Topo = StarTopo(8)
+	if r3 := RunLoad(s3); r3.Shards != 1 {
+		t.Fatalf("star ran on %d shards, want 1", r3.Shards)
+	}
+}
+
+// Bounded completed-flow retention must not change any aggregate.
+func TestCompletedWindowAccounting(t *testing.T) {
+	base := RunLoad(dumbbellScenario(1, false))
+	s := dumbbellScenario(1, false)
+	s.CompletedWindow = 4
+	got := RunLoad(s)
+	compareRuns(t, "completed-window", base, got)
+	s.Shards = 2
+	gotSharded := RunLoad(s)
+	compareRuns(t, "completed-window-sharded", base, gotSharded)
+}

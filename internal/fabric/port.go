@@ -83,6 +83,13 @@ type Port struct {
 	deliverFn func()
 	txDoneFn  func()
 
+	// remote, when set, marks this transmitter as a shard-boundary
+	// port: instead of riding the local wire, a serialized packet is
+	// handed to remote with its (deterministic) arrival instant, and
+	// the shard exchange delivers it into the peer's engine at an epoch
+	// barrier. Serialization, pacing and INT accounting stay local.
+	remote func(p *packet.Packet, arrive sim.Time)
+
 	txBytes uint64          // cumulative bytes fully handed to the serializer
 	rxQ     [NumPrio]uint64 // cumulative bytes enqueued, per priority (INT rxRate ablation)
 
@@ -101,6 +108,26 @@ type Port struct {
 // SetPauseHook installs fn to observe every PFC pause/resume transition
 // applied to this port. Pass nil to remove.
 func (pt *Port) SetPauseHook(fn func(prio uint8, paused bool)) { pt.pauseHook = fn }
+
+// SetRemote marks this transmitter as a shard-boundary port: serialized
+// packets are handed to fn with their arrival instant at the peer
+// instead of being delivered locally. Pass nil to restore local
+// delivery. Must not be called while packets are in flight on the wire.
+func (pt *Port) SetRemote(fn func(p *packet.Packet, arrive sim.Time)) {
+	if fn != nil && !pt.wire.empty() {
+		panic("fabric: SetRemote with packets in flight")
+	}
+	pt.remote = fn
+}
+
+// Rebind moves the port's event scheduling onto another engine — the
+// shard-partitioning step. Must happen before any traffic flows.
+func (pt *Port) Rebind(eng *sim.Engine) {
+	if pt.busy || !pt.wire.empty() {
+		panic("fabric: Rebind with packets in flight")
+	}
+	pt.eng = eng
+}
 
 func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Time) *Port {
 	pt := &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
@@ -233,6 +260,10 @@ func (pt *Port) kick() {
 
 	txTime := pt.rate.TxTime(int(e.p.Size))
 	pt.eng.After(txTime, pt.txDoneFn)
+	if pt.remote != nil {
+		pt.remote(e.p, pt.eng.Now()+txTime+pt.delay)
+		return
+	}
 	pt.wire.push(wireEntry{e.p, pt.eng.Now() + txTime + pt.delay})
 	if !pt.wireArmed {
 		pt.wireArmed = true

@@ -28,8 +28,8 @@ type Flow struct {
 
 	sndNxt, sndUna int64
 	nextSendAt     sim.Time
-	sendEv         *sim.Event
-	rtoEv          *sim.Event
+	sendEv         sim.Timer
+	rtoEv          sim.Timer
 	lastProgress   sim.Time
 
 	// sendFn/rtoFn are the flow's timer callbacks, built once at start
@@ -206,16 +206,14 @@ func (f *Flow) emit(now sim.Time, seq int64, payload int32, isRtx bool) {
 // allocations; every later re-arm is closure-free).
 func (f *Flow) initTimers() {
 	f.sendFn = func() {
-		f.sendEv = nil
+		f.sendEv = sim.Timer{}
 		f.trySend()
 	}
 	f.rtoFn = f.onRTO
 }
 
 func (f *Flow) armSendTimer() {
-	if f.sendEv != nil {
-		f.host.eng.Cancel(f.sendEv)
-	}
+	f.host.eng.Cancel(f.sendEv) // stale or zero handles are no-ops
 	f.sendEv = f.host.eng.At(f.nextSendAt, f.sendFn)
 }
 
@@ -316,7 +314,7 @@ func (f *Flow) armRTO() {
 
 // onRTO fires the retransmission-timeout backstop and re-arms it.
 func (f *Flow) onRTO() {
-	f.rtoEv = nil
+	f.rtoEv = sim.Timer{}
 	if f.done || !f.alive {
 		return
 	}
@@ -355,20 +353,17 @@ func (f *Flow) complete(now sim.Time) {
 	if f.onDone != nil {
 		f.onDone(f)
 	}
+	f.host.noteFlowDone(f)
 }
 
 func (f *Flow) teardown(now sim.Time) {
 	f.done = true
 	f.alive = false
 	f.finished = now
-	if f.sendEv != nil {
-		f.host.eng.Cancel(f.sendEv)
-		f.sendEv = nil
-	}
-	if f.rtoEv != nil {
-		f.host.eng.Cancel(f.rtoEv)
-		f.rtoEv = nil
-	}
+	f.host.eng.Cancel(f.sendEv)
+	f.sendEv = sim.Timer{}
+	f.host.eng.Cancel(f.rtoEv)
+	f.rtoEv = sim.Timer{}
 	// Drop the IRN recovery maps: every handler that touches them is
 	// gated on the flow being live.
 	f.sacked = nil

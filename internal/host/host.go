@@ -58,6 +58,13 @@ type Config struct {
 	// rate (the FPGA prototype has six). Flows beyond the capacity
 	// wait FIFO until a slot frees. Zero means unlimited (ASIC-class).
 	SchedulerEngines int
+	// CompletedWindow, when positive, bounds the host's memory over
+	// long campaigns: at most this many completed sender flows are
+	// retained (a ring of recent completions for post-run inspection);
+	// older ones are folded into aggregate counters (EvictedFlows) and
+	// dropped from the flow map, so the map stops growing with
+	// campaign length. Zero retains every flow.
+	CompletedWindow int
 	// Seed feeds per-flow deterministic randomness.
 	Seed int64
 	// Pool recycles packet structs across the host's send and receive
@@ -114,6 +121,14 @@ type Host struct {
 	// are never reused network-wide, so a hit always means straggler.
 	doneRing [doneRingSize]int32
 	doneHead int
+
+	// Completed-flow retention ring (Config.CompletedWindow): the IDs
+	// of the most recent completions, plus aggregate counters for the
+	// flows already evicted from the map.
+	retired     []int32
+	retiredHead int
+	evicted     int
+	evictedPkts uint64
 }
 
 // doneRingSize bounds the completed-inbound-flow memory (power of two).
@@ -197,6 +212,20 @@ func New(eng *sim.Engine, id fabric.NodeID, cfg Config) *Host {
 
 // ID implements fabric.Node.
 func (h *Host) ID() fabric.NodeID { return h.id }
+
+// Rebind moves the host's event scheduling onto another engine and
+// gives it a shard-local packet pool. Part of partitioning a built
+// network across shard engines; must happen before any flow starts
+// (flows capture h.eng through their timers and CC environment).
+func (h *Host) Rebind(eng *sim.Engine, pool *packet.Pool) {
+	if len(h.flows) > 0 {
+		panic("host: Rebind with flows started")
+	}
+	h.eng = eng
+	if pool != nil {
+		h.pool = pool
+	}
+}
 
 // Config returns the host configuration.
 func (h *Host) Config() Config { return h.cfg }
@@ -362,5 +391,39 @@ func (h *Host) Read(id int32, responder fabric.NodeID, size int64, portIdx int, 
 	h.ports[portIdx].Enqueue(req, -1)
 }
 
-// Flows returns the host's sender flows (live and completed).
+// Flows returns the host's sender flows (live and retained completed
+// ones; with Config.CompletedWindow set, older completions are evicted
+// into the EvictedFlows aggregate).
 func (h *Host) Flows() map[int32]*Flow { return h.flows }
+
+// EvictedFlows returns how many completed flows were evicted from the
+// flow map under Config.CompletedWindow, and their total data packets
+// sent (retransmissions included) — so whole-run accounting stays exact
+// under bounded memory.
+func (h *Host) EvictedFlows() (flows int, pkts uint64) { return h.evicted, h.evictedPkts }
+
+// noteFlowDone records a completion in the retention ring and evicts
+// the oldest retained completion once the window is full. Called after
+// the flow's onDone observers ran; an evicted flow's stats are folded
+// into the aggregate counters first, so nothing is lost.
+func (h *Host) noteFlowDone(f *Flow) {
+	w := h.cfg.CompletedWindow
+	if w <= 0 {
+		return
+	}
+	if len(h.retired) < w {
+		h.retired = append(h.retired, f.ID)
+		return
+	}
+	old := h.retired[h.retiredHead]
+	h.retired[h.retiredHead] = f.ID
+	h.retiredHead++
+	if h.retiredHead == len(h.retired) {
+		h.retiredHead = 0
+	}
+	if g := h.flows[old]; g != nil && g.done {
+		h.evicted++
+		h.evictedPkts += g.pktsSent
+		delete(h.flows, old)
+	}
+}

@@ -1,0 +1,84 @@
+package host
+
+import (
+	"testing"
+
+	"hpcc/internal/fabric"
+	"hpcc/internal/sim"
+)
+
+// With CompletedWindow set, the per-host flow map must plateau at the
+// window while a long run keeps completing flows — the bounded-memory
+// contract for multi-minute campaigns — and the evicted aggregate must
+// keep whole-run accounting exact.
+func TestCompletedWindowPlateaus(t *testing.T) {
+	hcfg := hpccConfig()
+	hcfg.CompletedWindow = 16
+	nw := buildStar(2, hcfg, fabric.SwitchConfig{PFCEnabled: true, INTEnabled: true}, line100, sim.Microsecond)
+
+	const rounds = 400
+	maxLive := 0
+	done := 0
+	var sentPkts uint64
+	var launch func(i int)
+	launch = func(i int) {
+		if i == rounds {
+			return
+		}
+		nw.start(0, 1, 3_000, func(f *Flow) {
+			done++
+			sentPkts += f.PacketsSent()
+			if n := len(nw.hosts[0].Flows()); n > maxLive {
+				maxLive = n
+			}
+			launch(i + 1)
+		})
+	}
+	launch(0)
+	nw.eng.Run()
+
+	if done != rounds {
+		t.Fatalf("completed %d flows, want %d", done, rounds)
+	}
+	// The map may briefly hold window+live flows; it must not grow with
+	// the round count.
+	if maxLive > hcfg.CompletedWindow+2 {
+		t.Fatalf("flow map grew to %d entries (window %d): memory does not plateau",
+			maxLive, hcfg.CompletedWindow)
+	}
+	h := nw.hosts[0]
+	evicted, evictedPkts := h.EvictedFlows()
+	if evicted != rounds-len(h.Flows()) {
+		t.Fatalf("evicted %d, retained %d, total %d: accounting mismatch",
+			evicted, len(h.Flows()), rounds)
+	}
+	var retainedPkts uint64
+	for _, f := range h.Flows() {
+		retainedPkts += f.PacketsSent()
+	}
+	if evictedPkts+retainedPkts != sentPkts {
+		t.Fatalf("evicted %d + retained %d packets != sent %d",
+			evictedPkts, retainedPkts, sentPkts)
+	}
+}
+
+// Without the window every flow is retained (the historical default).
+func TestCompletedWindowOffRetainsAll(t *testing.T) {
+	nw := buildStar(2, hpccConfig(), fabric.SwitchConfig{PFCEnabled: true, INTEnabled: true}, line100, sim.Microsecond)
+	const rounds = 50
+	var launch func(i int)
+	launch = func(i int) {
+		if i == rounds {
+			return
+		}
+		nw.start(0, 1, 2_000, func(*Flow) { launch(i + 1) })
+	}
+	launch(0)
+	nw.eng.Run()
+	if n := len(nw.hosts[0].Flows()); n != rounds {
+		t.Fatalf("retained %d flows, want all %d", n, rounds)
+	}
+	if evicted, _ := nw.hosts[0].EvictedFlows(); evicted != 0 {
+		t.Fatalf("evicted %d flows with the window off", evicted)
+	}
+}

@@ -1,70 +1,99 @@
 package sim
 
-import "container/heap"
-
-// Event is a handle to a scheduled callback. It can be cancelled with
-// Engine.Cancel as long as it has not fired yet.
+// Event is the scheduler's internal node for one pending callback.
+// Events are pooled and reused after they fire; external code holds
+// Timer handles (which carry a generation counter) rather than bare
+// *Event pointers, so a handle to a fired-and-reused event can never
+// cancel its unrelated successor.
 type Event struct {
 	at    Time
 	seq   uint64
+	gen   uint64
 	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	index int // heap index; -1 when not owned by a heap scheduler
 }
 
 // At reports when the event is (or was) scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// eventQueue implements heap.Interface ordered by (time, seq). The seq
-// tie-break makes execution order deterministic for simultaneous events:
-// first scheduled, first fired.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Before reports whether e fires before o: ordered by time, with the
+// scheduling sequence number as the deterministic tie-break (first
+// scheduled, first fired). Schedulers must agree on exactly this order.
+func (e *Event) Before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Scheduler is the pending-event set of an Engine: a priority queue
+// over (time, seq). Implementations must pop events in exactly
+// Event.Before order — the engine's determinism contract — but are free
+// to trade structure for constant factors (binary heap for small
+// pending sets, calendar queue for >100K pending events).
+//
+// Cancellation is cooperative: the engine marks cancelled events (fn =
+// nil) and either removes them eagerly via Remove or lazily discards
+// them at Pop/Peek, so implementations without O(log n) removal return
+// false from Remove and simply keep the tombstone queued.
+type Scheduler interface {
+	// Push inserts a scheduled event.
+	Push(ev *Event)
+	// Pop removes and returns the earliest event (Before order), or nil.
+	Pop() *Event
+	// Peek returns the earliest event without removing it, or nil.
+	Peek() *Event
+	// Remove eagerly extracts a cancelled event if the structure
+	// supports it, reporting whether ev was taken out.
+	Remove(ev *Event) bool
+	// Len returns the number of queued events, including tombstones.
+	Len() int
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// Timer is a cancellable handle to a scheduled event. The zero Timer
+// is inert: cancelling it is a no-op. Handles are values; they embed
+// the event's generation at scheduling time, so a stale handle (the
+// event fired or was cancelled, and the pooled Event was reused) can
+// never touch the reused event — the ABA hazard of the freelist.
+type Timer struct {
+	ev  *Event
+	gen uint64
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// Armed reports whether the timer still refers to a pending event.
+func (t Timer) Armed() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// When returns the scheduled fire time of a still-armed timer, or 0.
+func (t Timer) When() Time {
+	if !t.Armed() {
+		return 0
+	}
+	return t.ev.at
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
-// for concurrent use; the whole simulated world runs on one goroutine,
-// which is what makes runs deterministic.
+// for concurrent use; one engine's world runs on one goroutine, which
+// is what makes runs deterministic. (Multiple engines may run on
+// concurrent goroutines — the campaign runner and ShardGroup do.)
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	sched   Scheduler
+	live    int // queued events that are not cancelled tombstones
 	stopped bool
 	pool    []*Event // freelist for fired events
 	fired   uint64
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	e := &Engine{}
+// NewEngine returns an engine with the clock at zero, backed by the
+// default binary-heap scheduler.
+func NewEngine() *Engine { return NewEngineWith(NewHeap()) }
+
+// NewEngineWith returns an engine backed by the given scheduler (which
+// must be empty). Use NewCalendar for workloads holding >100K pending
+// events.
+func NewEngineWith(s Scheduler) *Engine {
+	e := &Engine{sched: s}
 	noteEngine(e)
 	return e
 }
@@ -73,14 +102,14 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.live }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: that is always a logic error in a discrete-event model.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -89,46 +118,92 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		ev = e.pool[n-1]
 		e.pool = e.pool[:n-1]
 	} else {
-		ev = &Event{}
+		ev = &Event{index: -1}
 	}
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.live++
+	e.sched.Push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an event that already
-// fired or was already cancelled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a scheduled event. Cancelling a zero Timer, an event
+// that already fired, or one already cancelled is a no-op — the
+// generation check makes this safe even after the pooled Event has been
+// reused for an unrelated callback.
+func (e *Engine) Cancel(t Timer) {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.fn == nil {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	ev.gen++ // invalidate every outstanding handle
+	e.live--
+	if e.sched.Remove(ev) {
+		e.recycle(ev)
+	}
+	// Otherwise the tombstone stays queued and is discarded at Pop.
+}
+
+func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	e.pool = append(e.pool, ev)
+}
+
+// head returns the earliest live event without removing it, discarding
+// cancelled tombstones along the way.
+func (e *Engine) head() *Event {
+	for {
+		ev := e.sched.Peek()
+		if ev == nil {
+			return nil
+		}
+		if ev.fn != nil {
+			return ev
+		}
+		e.sched.Pop()
+		e.recycle(ev)
+	}
+}
+
+// PeekTime returns the fire time of the earliest pending event.
+func (e *Engine) PeekTime() (Time, bool) {
+	ev := e.head()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // Step fires the earliest pending event and returns true, or returns
 // false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
+	for {
+		ev := e.sched.Pop()
+		if ev == nil {
+			return false
+		}
+		if ev.fn == nil { // lazily-cancelled tombstone
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.gen++ // invalidate handles before fn can reschedule
+		e.live--
+		e.recycle(ev)
+		e.fired++
+		fn()
+		return true
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	e.pool = append(e.pool, ev)
-	e.fired++
-	fn()
-	return true
 }
 
 // Run fires events until the queue empties or Stop is called.
@@ -143,7 +218,30 @@ func (e *Engine) Run() {
 // queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped {
+		ev := e.head()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunBefore fires events with timestamps strictly < deadline, then
+// advances the clock to the deadline. It is the epoch primitive of
+// ShardGroup: an epoch [T, T+L) runs every event before the boundary
+// and leaves boundary-time events for the next epoch, after the
+// cross-shard exchange.
+func (e *Engine) RunBefore(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.head()
+		if ev == nil || ev.at >= deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {

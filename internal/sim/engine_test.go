@@ -75,7 +75,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.At(Time(i)*Microsecond, func() { got = append(got, i) }))
@@ -190,7 +190,7 @@ func TestEngineCancelProperty(t *testing.T) {
 		e := NewEngine()
 		total := int(n%64) + 1
 		firedSet := make(map[int]bool)
-		evs := make([]*Event, total)
+		evs := make([]Timer, total)
 		for i := 0; i < total; i++ {
 			i := i
 			evs[i] = e.At(Time(rng.Intn(1000))*Nanosecond, func() { firedSet[i] = true })

@@ -1,0 +1,150 @@
+package sim
+
+import "container/heap"
+
+// Calendar is a bucketed-ladder Scheduler tuned for large pending sets
+// (>100K events): the pending window is split into fixed-width time
+// buckets, pushes into future buckets are O(1) appends, and only the
+// bucket currently being drained is kept heap-ordered. Far-future
+// events sit in an overflow list until the window drains, at which
+// point the window re-anchors and re-tunes its width to the overflow's
+// span — so sparse tails (RTO backstops a millisecond out) cost nothing
+// until their time comes.
+//
+// The pop order is exactly Event.Before — identical to Heap — which the
+// scheduler-equivalence property test pins down; engines backed by
+// either scheduler produce byte-identical simulations.
+type Calendar struct {
+	nbuck   int
+	buckets [][]*Event
+
+	// Active window: buckets[i] spans
+	// [winStart + i*width, winStart + (i+1)*width).
+	width    Time
+	winEnd   Time
+	cur      int        // bucket being drained (-1 before the first)
+	curStart Time       // start time of bucket cur's span
+	curq     eventQueue // bucket cur, heapified at activation
+	ringLive int        // events in buckets after cur
+
+	overflow     []*Event // events at/after winEnd, unordered
+	ofMin, ofMax Time
+
+	total  int
+	active bool
+}
+
+// calendarBuckets is the fixed bucket count. Refills re-tune the bucket
+// width to span the whole overflow, so the count only bounds how finely
+// one window subdivides; dense buckets degrade gracefully to per-bucket
+// heaps.
+const calendarBuckets = 2048
+
+// NewCalendar returns an empty calendar scheduler.
+func NewCalendar() *Calendar {
+	return &Calendar{nbuck: calendarBuckets, buckets: make([][]*Event, calendarBuckets)}
+}
+
+// Push implements Scheduler.
+func (c *Calendar) Push(ev *Event) {
+	c.total++
+	ev.index = -1
+	if !c.active || ev.at >= c.winEnd {
+		if len(c.overflow) == 0 || ev.at < c.ofMin {
+			c.ofMin = ev.at
+		}
+		if len(c.overflow) == 0 || ev.at > c.ofMax {
+			c.ofMax = ev.at
+		}
+		c.overflow = append(c.overflow, ev)
+		return
+	}
+	if ev.at < c.curStart+c.width {
+		// The event lands in (or before) the bucket being drained; the
+		// per-bucket heap keeps Before order exact even when the clock
+		// sits below curStart.
+		heap.Push(&c.curq, ev)
+		return
+	}
+	idx := c.cur + int((ev.at-c.curStart)/c.width)
+	c.buckets[idx] = append(c.buckets[idx], ev)
+	c.ringLive++
+}
+
+// Pop implements Scheduler.
+func (c *Calendar) Pop() *Event {
+	ev := c.ensure()
+	if ev == nil {
+		return nil
+	}
+	heap.Pop(&c.curq)
+	c.total--
+	return ev
+}
+
+// Peek implements Scheduler.
+func (c *Calendar) Peek() *Event { return c.ensure() }
+
+// Remove implements Scheduler: the calendar has no per-event locator,
+// so cancelled events stay queued as tombstones and are discarded when
+// popped.
+func (c *Calendar) Remove(ev *Event) bool { return false }
+
+// Len implements Scheduler.
+func (c *Calendar) Len() int { return c.total }
+
+// ensure activates buckets until the earliest pending event heads the
+// current bucket's heap, refilling the window from overflow when the
+// whole window has drained.
+func (c *Calendar) ensure() *Event {
+	for {
+		if len(c.curq) > 0 {
+			return c.curq[0]
+		}
+		if c.ringLive > 0 {
+			// Hand the drained bucket's backing array back before
+			// activating the next nonempty bucket.
+			if c.cur >= 0 && c.buckets[c.cur] == nil {
+				c.buckets[c.cur] = c.curq[:0]
+			}
+			for {
+				c.cur++
+				c.curStart += c.width
+				if len(c.buckets[c.cur]) > 0 {
+					break
+				}
+			}
+			c.curq = eventQueue(c.buckets[c.cur])
+			c.buckets[c.cur] = nil
+			c.ringLive -= len(c.curq)
+			heap.Init(&c.curq)
+			continue
+		}
+		if len(c.overflow) == 0 {
+			return nil
+		}
+		c.refill()
+	}
+}
+
+// refill re-anchors the window at the overflow's earliest event and
+// re-tunes the bucket width so the window spans the whole overflow,
+// then redistributes every overflowed event into its bucket.
+func (c *Calendar) refill() {
+	old := c.overflow
+	span := c.ofMax - c.ofMin + 1
+	c.width = span/Time(c.nbuck) + 1
+	winStart := c.ofMin
+	c.winEnd = winStart + c.width*Time(c.nbuck)
+	c.cur = -1
+	c.curStart = winStart - c.width
+	c.curq = c.curq[:0]
+	c.overflow = nil
+	c.ringLive = 0
+	for _, ev := range old {
+		idx := int((ev.at - winStart) / c.width)
+		c.buckets[idx] = append(c.buckets[idx], ev)
+	}
+	c.ringLive = len(old)
+	c.active = true
+}

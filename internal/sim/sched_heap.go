@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// Heap is the default Scheduler: a binary heap over (time, seq). Its
+// O(log n) push/pop constant is excellent up to tens of thousands of
+// pending events; beyond that the Calendar scheduler wins.
+type Heap struct {
+	q eventQueue
+}
+
+// NewHeap returns an empty heap scheduler.
+func NewHeap() *Heap { return &Heap{} }
+
+// Push implements Scheduler.
+func (h *Heap) Push(ev *Event) { heap.Push(&h.q, ev) }
+
+// Pop implements Scheduler.
+func (h *Heap) Pop() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.q).(*Event)
+}
+
+// Peek implements Scheduler.
+func (h *Heap) Peek() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+// Remove implements Scheduler: the heap supports eager O(log n)
+// extraction of cancelled events.
+func (h *Heap) Remove(ev *Event) bool {
+	if ev.index < 0 {
+		return false
+	}
+	heap.Remove(&h.q, ev.index)
+	return true
+}
+
+// Len implements Scheduler.
+func (h *Heap) Len() int { return len(h.q) }
+
+// eventQueue implements heap.Interface ordered by (time, seq). The seq
+// tie-break makes execution order deterministic for simultaneous events:
+// first scheduled, first fired.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool { return q[i].Before(q[j]) }
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

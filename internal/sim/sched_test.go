@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The pooled-Event ABA regression: a handle whose event has fired (and
+// whose Event struct was reused for an unrelated callback) must not be
+// able to cancel the reused event.
+func TestCancelStaleHandleABA(t *testing.T) {
+	for _, mk := range []func() *Engine{
+		NewEngine,
+		func() *Engine { return NewEngineWith(NewCalendar()) },
+	} {
+		e := mk()
+		stale := e.At(Microsecond, func() {})
+		e.Run() // fires; the Event returns to the freelist
+
+		fired := false
+		fresh := e.At(2*Microsecond, func() { fired = true }) // reuses the pooled Event
+		e.Cancel(stale)                                       // stale handle: must be a no-op
+		if fresh.Armed() != true {
+			t.Fatal("fresh timer disarmed by a stale handle")
+		}
+		e.Run()
+		if !fired {
+			t.Fatal("event cancelled through a stale handle to its reused Event")
+		}
+		if fresh.Armed() {
+			t.Fatal("fired timer still reports armed")
+		}
+	}
+}
+
+// A handle taken before an event fires must also be inert afterwards,
+// even when no reuse happened yet.
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	h := e.At(Microsecond, func() {})
+	e.Run()
+	e.Cancel(h) // no-op; must not corrupt the freelist
+	n := 0
+	e.At(2*Microsecond, func() { n++ })
+	e.At(3*Microsecond, func() { n++ })
+	e.Run()
+	if n != 2 {
+		t.Fatalf("fired %d events after stale cancel, want 2", n)
+	}
+}
+
+// Property: under any random mix of schedules and cancels, an engine
+// backed by the calendar queue fires exactly the same (time, order)
+// sequence as one backed by the heap. This is the scheduler-equivalence
+// contract the sharded runner's byte-identical results build on.
+func TestHeapCalendarEquivalence(t *testing.T) {
+	type fireRec struct {
+		at Time
+		id int
+	}
+	run := func(mk func() *Engine, seed int64, n int) []fireRec {
+		rng := rand.New(rand.NewSource(seed))
+		e := mk()
+		var fired []fireRec
+		var timers []Timer
+		id := 0
+		// Seed events; each fired event may reschedule and cancel.
+		var schedule func(at Time)
+		schedule = func(at Time) {
+			me := id
+			id++
+			timers = append(timers, e.At(at, func() {
+				fired = append(fired, fireRec{e.Now(), me})
+				// Reschedule a couple of follow-ups with varied gaps,
+				// including zero-gap ties and far-future tails.
+				if id < n {
+					gaps := []Time{0, Time(rng.Intn(5)) * Nanosecond,
+						Time(rng.Intn(1000)) * Nanosecond,
+						Time(rng.Intn(100)) * Microsecond}
+					schedule(e.Now() + gaps[rng.Intn(len(gaps))])
+				}
+				// Randomly cancel an old handle (often already fired —
+				// exercising stale-handle safety on both schedulers).
+				if len(timers) > 0 && rng.Intn(3) == 0 {
+					e.Cancel(timers[rng.Intn(len(timers))])
+				}
+			}))
+		}
+		for i := 0; i < 8; i++ {
+			schedule(Time(rng.Intn(2000)) * Nanosecond)
+		}
+		e.Run()
+		return fired
+	}
+
+	f := func(seed int64) bool {
+		n := 400
+		a := run(NewEngine, seed, n)
+		b := run(func() *Engine { return NewEngineWith(NewCalendar()) }, seed, n)
+		if len(a) != len(b) {
+			t.Logf("seed %d: heap fired %d, calendar fired %d", seed, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: divergence at %d: heap %v calendar %v", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Directed calendar coverage: many events in one bucket, ties, window
+// refills, and cancels interleaved with pops.
+func TestCalendarDirected(t *testing.T) {
+	e := NewEngineWith(NewCalendar())
+	var got []int
+	// Dense cluster now, sparse tail later (forces at least two window
+	// refills through the overflow).
+	for i := 0; i < 1000; i++ {
+		i := i
+		e.At(Time(i%7)*Nanosecond, func() { got = append(got, i) })
+	}
+	tail := e.At(5*Millisecond, func() { got = append(got, -1) })
+	e.At(9*Millisecond, func() { got = append(got, -2) })
+	e.Cancel(tail)
+	e.Run()
+	if len(got) != 1001 {
+		t.Fatalf("fired %d events, want 1001", len(got))
+	}
+	if got[1000] != -2 {
+		t.Fatalf("tail event fired out of order: %d", got[1000])
+	}
+	// Ties must fire in scheduling order within each timestamp.
+	seen := map[int][]int{}
+	for _, v := range got[:1000] {
+		k := v % 7
+		seen[k] = append(seen[k], v)
+	}
+	for k, vs := range seen {
+		for i := 1; i < len(vs); i++ {
+			if vs[i] < vs[i-1] {
+				t.Fatalf("ties at %dns fired out of scheduling order: %v", k, vs)
+			}
+		}
+	}
+}
+
+func BenchmarkCalendarScheduleFire(b *testing.B) {
+	e := NewEngineWith(NewCalendar())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Nanosecond, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkSchedulers100K measures push+pop through a standing set of
+// 100K pending events — the regime the calendar queue targets.
+func BenchmarkSchedulers100K(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Engine
+	}{
+		{"heap", NewEngine},
+		{"calendar", func() *Engine { return NewEngineWith(NewCalendar()) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := tc.mk()
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 100_000; i++ {
+				e.At(Time(rng.Intn(1_000_000))*Nanosecond, func() {})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(Time(rng.Intn(1_000_000))*Nanosecond, func() {})
+				e.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "sync"
+
+// ShardGroup runs several engines in lockstep epochs of conservative
+// lookahead — the classic conservative parallel-DES synchronization.
+// Every epoch [T, T+L) is executed concurrently (one goroutine per
+// engine); at the epoch barrier the group calls Exchange, which moves
+// cross-shard traffic between engines single-threaded. The scheme is
+// sound when every cross-shard interaction initiated during an epoch
+// takes effect at least Lookahead later — for a network partition, the
+// minimum propagation delay of the links that cross shards.
+//
+// Determinism: each engine fires its own events in (time, seq) order
+// exactly as it would alone, and Exchange injects cross-shard events in
+// a caller-fixed order at every barrier, so a ShardGroup run is a pure
+// function of its inputs — independent of goroutine scheduling.
+type ShardGroup struct {
+	Engines   []*Engine
+	Lookahead Time
+	// Exchange, if set, runs at every epoch boundary (single-threaded,
+	// all engines parked at time now) and moves cross-shard work into
+	// the destination engines.
+	Exchange func(now Time)
+}
+
+// RunUntil advances every engine to the deadline in lookahead epochs.
+// Epochs are event-driven: when all engines are idle until some later
+// time, the group skips ahead (still conservatively: an epoch never
+// extends past earliest-pending-event + Lookahead).
+func (g *ShardGroup) RunUntil(deadline Time) {
+	if len(g.Engines) == 1 {
+		g.Engines[0].RunUntil(deadline)
+		if g.Exchange != nil {
+			g.Exchange(deadline)
+		}
+		return
+	}
+	if g.Lookahead <= 0 {
+		panic("sim: ShardGroup needs a positive Lookahead")
+	}
+
+	type cmd struct {
+		until Time
+		final bool
+	}
+	var wg sync.WaitGroup
+	cmds := make([]chan cmd, len(g.Engines))
+	for i, e := range g.Engines {
+		ch := make(chan cmd, 1)
+		cmds[i] = ch
+		go func(e *Engine, ch chan cmd) {
+			for m := range ch {
+				if m.final {
+					e.RunUntil(m.until)
+				} else {
+					e.RunBefore(m.until)
+				}
+				wg.Done()
+			}
+		}(e, ch)
+	}
+	defer func() {
+		for _, ch := range cmds {
+			close(ch)
+		}
+	}()
+
+	now := g.Engines[0].Now()
+	for {
+		// Event-driven epoch end: nothing can cross a shard boundary
+		// earlier than the group's earliest pending event + Lookahead.
+		next := deadline
+		for _, e := range g.Engines {
+			if h, ok := e.PeekTime(); ok && h+g.Lookahead < next {
+				next = h + g.Lookahead
+			}
+		}
+		if next < now+g.Lookahead {
+			next = now + g.Lookahead
+		}
+		final := next >= deadline
+		if final {
+			next = deadline
+		}
+		wg.Add(len(g.Engines))
+		for _, ch := range cmds {
+			ch <- cmd{until: next, final: final}
+		}
+		wg.Wait()
+		if g.Exchange != nil {
+			g.Exchange(next)
+		}
+		if final {
+			return
+		}
+		now = next
+	}
+}

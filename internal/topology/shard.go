@@ -1,0 +1,334 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcc/internal/fabric"
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// Sharding is a built network partitioned across per-shard engines for
+// conservative-lookahead parallel execution. Shard 0 keeps the
+// network's original engine; every node (and its transmit ports) is
+// rebound to its shard's engine and packet pool, and every port whose
+// peer lives in another shard ships serialized packets through a
+// boundary outbox that the Group's exchange drains — deterministically
+// — at each epoch barrier.
+type Sharding struct {
+	Net     *Network
+	Engines []*sim.Engine
+	Group   *sim.ShardGroup
+	// HostShard maps host index -> shard index.
+	HostShard []int
+	// NodeShard maps every node ID -> shard index.
+	NodeShard map[fabric.NodeID]int
+	// Lookahead is the epoch length: the minimum propagation delay of
+	// any link crossing a shard boundary.
+	Lookahead sim.Time
+	// BoundaryPorts counts directed cross-shard transmitters.
+	BoundaryPorts int
+
+	outs []*boundary
+	arms []*boundary // scratch for exchange's arming sort
+}
+
+// xpkt is one serialized packet in flight across a shard boundary: the
+// frame, its arrival instant at the peer, and the instant the local
+// wire would have armed its delivery event (the single-engine
+// scheduling point, reconstructed so tie-breaks replay identically).
+type xpkt struct {
+	p   *packet.Packet
+	at  sim.Time
+	arm sim.Time
+}
+
+// boundary is one directed cross-shard link: the sender side appends
+// serialized packets to an outbox on its shard's goroutine during an
+// epoch; the barrier moves them onto a receiver-side wire that mirrors
+// Port's single-event head-of-wire delivery exactly — the delivery
+// callback pops the head, re-arms for the next packet (assigning its
+// sequence number before HandleArrival's side effects, just as
+// Port.deliver does), then delivers.
+type boundary struct {
+	port    *fabric.Port // sender-side transmitter
+	eng     *sim.Engine  // receiver shard's engine
+	lastArr sim.Time     // previous packet's arrival (arming reconstruction)
+	buf     []xpkt       // sender-side outbox (epoch-local)
+
+	rwire   []xpkt // receiver-side wire, FIFO
+	rhead   int
+	armed   bool
+	deliver func()
+}
+
+func (bd *boundary) pop() xpkt {
+	e := bd.rwire[bd.rhead]
+	bd.rwire[bd.rhead].p = nil
+	bd.rhead++
+	if bd.rhead == len(bd.rwire) {
+		bd.rwire = bd.rwire[:0]
+		bd.rhead = 0
+	} else if bd.rhead > 256 && bd.rhead*2 >= len(bd.rwire) {
+		n := copy(bd.rwire, bd.rwire[bd.rhead:])
+		bd.rwire = bd.rwire[:n]
+		bd.rhead = 0
+	}
+	return e
+}
+
+// exchange drains every boundary outbox onto its receiver-side wire
+// and arms idle wires, in the reconstructed single-engine arming order
+// (arming instant, then boundary creation order) — so every delivery
+// event's (time, seq) position at the receiver replays the
+// single-engine run's.
+func (s *Sharding) exchange(now sim.Time) {
+	arms := s.arms[:0]
+	for _, bd := range s.outs {
+		if len(bd.buf) == 0 {
+			continue
+		}
+		if !bd.armed {
+			arms = append(arms, bd)
+		}
+		bd.rwire = append(bd.rwire, bd.buf...)
+		for i := range bd.buf {
+			bd.buf[i].p = nil
+		}
+		bd.buf = bd.buf[:0]
+	}
+	// Idle wires arm in virtual arming order: every arming instant lies
+	// before this barrier (the head was sent, and its predecessor
+	// delivered, in earlier epochs), so sorting recovers the
+	// chronological order the single engine armed them in.
+	sort.SliceStable(arms, func(i, j int) bool {
+		return arms[i].rwire[arms[i].rhead].arm < arms[j].rwire[arms[j].rhead].arm
+	})
+	for _, bd := range arms {
+		bd.armed = true
+		bd.eng.At(bd.rwire[bd.rhead].at, bd.deliver)
+	}
+	s.arms = arms[:0]
+}
+
+// Shard partitions a freshly built network into (at most) k shards and
+// wires the conservative-lookahead machinery. The partition unit is a
+// "cluster": a connected component of the node graph with all
+// switch-switch links removed — a ToR plus its hosts in a FatTree, a
+// ToR pair plus its dual-homed servers in the testbed Pod, one side of
+// a dumbbell. Clusters are balanced across shards by host count;
+// switch-only clusters (aggs, cores) are spread round-robin.
+//
+// It must be called before any traffic is installed (flows bind their
+// host's engine at start). mkEngine builds the additional engines —
+// shard 0 keeps the network's own. Errors (no retained builder, a
+// single cluster, a zero-delay boundary link) leave the network
+// untouched and usable single-engine.
+//
+// Determinism: a sharded run is a pure function of (network, k, seed).
+// The cross-shard machinery additionally replays the single-engine
+// event interleaving — per-port FIFO wires, re-arm-before-deliver, and
+// arming-instant-sorted injection — so results match the one-engine
+// run byte-for-byte except when two saturated links in different
+// shards deliver into one node at the same picosecond; that tie's
+// winner is decided by cross-shard history no conservative-lookahead
+// scheme can observe, and falls back to arming order then boundary
+// creation order.
+func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: Shard needs k >= 2, got %d", k)
+	}
+	b := nw.b
+	if b == nil {
+		return nil, fmt.Errorf("topology: network has no retained builder")
+	}
+
+	// Union-find over nodes, merging across host-adjacent links only.
+	isHost := make(map[fabric.NodeID]bool, len(nw.Hosts))
+	for _, h := range nw.Hosts {
+		isHost[h.ID()] = true
+	}
+	parent := make(map[fabric.NodeID]fabric.NodeID)
+	var find func(x fabric.NodeID) fabric.NodeID
+	find = func(x fabric.NodeID) fabric.NodeID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(x, y fabric.NodeID) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			if rx > ry { // keep the smallest ID as the root
+				rx, ry = ry, rx
+			}
+			parent[ry] = rx
+		}
+	}
+	allNodes := make([]fabric.NodeID, 0, len(nw.Hosts)+len(nw.Switches))
+	for _, h := range nw.Hosts {
+		allNodes = append(allNodes, h.ID())
+	}
+	for _, sw := range nw.Switches {
+		allNodes = append(allNodes, sw.ID())
+	}
+	sort.Slice(allNodes, func(i, j int) bool { return allNodes[i] < allNodes[j] })
+	for _, id := range allNodes {
+		find(id)
+		for _, e := range b.adj[id] {
+			if isHost[id] || isHost[e.peer] {
+				union(id, e.peer)
+			}
+		}
+	}
+
+	// Clusters in min-node-ID order, with host counts.
+	type cluster struct {
+		root  fabric.NodeID
+		nodes []fabric.NodeID
+		hosts int
+	}
+	byRoot := make(map[fabric.NodeID]*cluster)
+	var clusters []*cluster
+	for _, id := range allNodes {
+		r := find(id)
+		c := byRoot[r]
+		if c == nil {
+			c = &cluster{root: r}
+			byRoot[r] = c
+			clusters = append(clusters, c)
+		}
+		c.nodes = append(c.nodes, id)
+		if isHost[id] {
+			c.hosts++
+		}
+	}
+	var hostful, bare []*cluster
+	for _, c := range clusters {
+		if c.hosts > 0 {
+			hostful = append(hostful, c)
+		} else {
+			bare = append(bare, c)
+		}
+	}
+	if len(hostful) < 2 {
+		return nil, fmt.Errorf("topology: fabric does not partition (%d host cluster(s))", len(hostful))
+	}
+	if k > len(hostful) {
+		k = len(hostful)
+	}
+
+	// Balance hostful clusters greedily (largest first, into the
+	// least-loaded shard; all ties broken by order, so the assignment
+	// is deterministic). Bare clusters spread round-robin.
+	nodeShard := make(map[fabric.NodeID]int, len(allNodes))
+	order := make([]*cluster, len(hostful))
+	copy(order, hostful)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].hosts > order[j].hosts })
+	load := make([]int, k)
+	for _, c := range order {
+		tgt := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[tgt] {
+				tgt = s
+			}
+		}
+		load[tgt] += c.hosts
+		for _, id := range c.nodes {
+			nodeShard[id] = tgt
+		}
+	}
+	for i, c := range bare {
+		tgt := i % k
+		for _, id := range c.nodes {
+			nodeShard[id] = tgt
+		}
+	}
+
+	// Lookahead: the minimum delay of any cross-shard link.
+	lookahead := sim.Time(-1)
+	for _, id := range allNodes {
+		for _, e := range b.adj[id] {
+			if nodeShard[id] != nodeShard[e.peer] {
+				if lookahead < 0 || e.delay < lookahead {
+					lookahead = e.delay
+				}
+			}
+		}
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("topology: zero-delay boundary link; cannot shard conservatively")
+	}
+
+	// Engines and per-shard packet pools; rebind every node and port.
+	engines := make([]*sim.Engine, k)
+	engines[0] = nw.Eng
+	for i := 1; i < k; i++ {
+		engines[i] = mkEngine()
+	}
+	pools := make([]*packet.Pool, k)
+	for i := range pools {
+		pools[i] = packet.NewPool()
+	}
+	s := &Sharding{
+		Net:       nw,
+		Engines:   engines,
+		HostShard: make([]int, len(nw.Hosts)),
+		NodeShard: nodeShard,
+		Lookahead: lookahead,
+	}
+	addBoundary := func(pt *fabric.Port, owner fabric.NodeID) {
+		peerShard := nodeShard[pt.Peer().ID()]
+		if nodeShard[owner] == peerShard {
+			return
+		}
+		bd := &boundary{port: pt, eng: engines[peerShard]}
+		bd.deliver = func() {
+			e := bd.pop()
+			if bd.rhead < len(bd.rwire) {
+				bd.eng.At(bd.rwire[bd.rhead].at, bd.deliver)
+			} else {
+				bd.armed = false
+			}
+			bd.port.Peer().HandleArrival(e.p, bd.port.PeerPort())
+		}
+		src := engines[nodeShard[owner]]
+		pt.SetRemote(func(p *packet.Packet, arrive sim.Time) {
+			// The local wire would arm this packet's delivery when it
+			// becomes head-of-wire: at send start if the wire is idle,
+			// else when its predecessor arrives.
+			arm := src.Now()
+			if bd.lastArr > arm {
+				arm = bd.lastArr
+			}
+			bd.lastArr = arrive
+			bd.buf = append(bd.buf, xpkt{p, arrive, arm})
+		})
+		s.outs = append(s.outs, bd)
+	}
+	for i, h := range nw.Hosts {
+		sh := nodeShard[h.ID()]
+		s.HostShard[i] = sh
+		h.Rebind(engines[sh], pools[sh])
+		for _, pt := range h.Ports() {
+			pt.Rebind(engines[sh])
+			addBoundary(pt, h.ID())
+		}
+	}
+	for _, sw := range nw.Switches {
+		sh := nodeShard[sw.ID()]
+		sw.Rebind(engines[sh], pools[sh])
+		for _, pt := range sw.Ports() {
+			pt.Rebind(engines[sh])
+			addBoundary(pt, sw.ID())
+		}
+	}
+	s.BoundaryPorts = len(s.outs)
+	s.Group = &sim.ShardGroup{Engines: engines, Lookahead: lookahead, Exchange: s.exchange}
+	return s, nil
+}

@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"container/heap"
+
+	"hpcc/internal/sim"
+)
+
+// This file lets the sharded runner pre-plan every arrival of a
+// scenario whose traffic is open-loop (arrival times independent of
+// simulation feedback): the full schedule — and, crucially, the exact
+// flow-ID sequence the single-engine lazy install would produce — is
+// computed up front, so arrivals can be installed on per-shard engines
+// with pre-assigned IDs and still match the single-engine run
+// byte-for-byte. Closed-loop generators (AllToAll's shuffle barrier,
+// RPC's request-response) cannot be planned; PlanArrivals reports
+// !ok and the runner falls back to one engine.
+
+// PlannedFlow is one pre-planned arrival. At < 0 marks an inline
+// arrival: the lazy install starts it during Install (before the
+// engine runs), so the sharded install must too.
+type PlannedFlow struct {
+	At       sim.Time
+	Src, Dst int
+	Size     int64
+	// SchedAt is the virtual instant the lazy install would have
+	// scheduled this arrival's event (the previous batch's time for
+	// chained arrivals; <= 0 for install-scheduled roots and inline
+	// arrivals). Replaying it keeps the arrival event's (time, seq)
+	// position on its shard engine identical to the single-engine run
+	// even when the arrival ties with packet events at the same
+	// picosecond.
+	SchedAt sim.Time
+	// ID is the network-unique flow ID, replaying exactly the sequence
+	// the shared counter would assign in a single-engine run.
+	ID int32
+}
+
+// planBatch is one arrival event of a generator's lazy chain: every
+// flow the event would start, in order.
+type planBatch struct {
+	at    sim.Time
+	flows []FlowSpec
+}
+
+// genPlan is a generator's full arrival structure: flows started inline
+// during Install, plus chains of batches where batch j+1 is scheduled
+// by batch j's event (the lazy generators' self-rescheduling shape).
+// Independently install-scheduled arrivals (FlowList) are chains of
+// length one.
+type genPlan struct {
+	inline []FlowSpec
+	chains [][]planBatch
+}
+
+// openLoop is implemented by generators whose arrival schedule can be
+// expanded up front. plan must mirror Install exactly: same env
+// defaulting, same RNG stream and draw order, same horizon checks.
+type openLoop interface {
+	plan(n int, env Env) (genPlan, bool)
+}
+
+// planCap bounds a single generator's planned arrivals, so an
+// unbounded spec (no MaxFlows, huge horizon) degrades to the fallback
+// instead of exhausting memory.
+const planCap = 4 << 20
+
+// CanPlan reports whether a generator's arrivals can be pre-planned:
+// it is open-loop and carries no per-spec OnDone (the sharded replay
+// installs its own completion callbacks and would otherwise silently
+// drop the spec's). Cheap — callers use it to refuse sharding before
+// building a fabric.
+func CanPlan(g Generator) bool {
+	switch s := g.(type) {
+	case PoissonSpec:
+		return s.OnDone == nil
+	case IncastSpec:
+		return s.OnDone == nil
+	case FlowList, ArrivalFunc:
+		return true
+	default:
+		return false
+	}
+}
+
+// plan mirrors StartPoisson: one chain, one flow per batch, with the
+// install-time first-gap draw and the per-arrival src/dst/size/gap
+// draw order.
+func (spec PoissonSpec) plan(n int, env Env) (genPlan, bool) {
+	if spec.HostRate == 0 {
+		spec.HostRate = env.HostRate
+	}
+	if spec.Until == 0 {
+		spec.Until = env.Until
+	}
+	if spec.MaxFlows == 0 {
+		spec.MaxFlows = env.MaxFlows
+	}
+	if spec.Seed == 0 {
+		spec.Seed = env.Seed
+	}
+	rng := sim.NewRNG(spec.Seed, "poisson")
+	bytesPerSec := spec.Load * float64(n) * spec.HostRate.BytesPerSec()
+	lambda := bytesPerSec / spec.CDF.Mean()
+	if lambda <= 0 {
+		return genPlan{}, true
+	}
+	meanGapPs := float64(sim.Second) / lambda
+	var chain []planBatch
+	t := sim.Time(rng.ExpFloat64() * meanGapPs)
+	for started := 0; ; started++ {
+		if spec.MaxFlows > 0 && started >= spec.MaxFlows {
+			break
+		}
+		if t > spec.Until {
+			break
+		}
+		if started >= planCap {
+			return genPlan{}, false
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		size := spec.CDF.Sample(rng)
+		chain = append(chain, planBatch{at: t, flows: []FlowSpec{{At: t, Src: src, Dst: dst, Size: size}}})
+		t += sim.Time(rng.ExpFloat64() * meanGapPs)
+	}
+	if len(chain) == 0 {
+		return genPlan{}, true
+	}
+	return genPlan{chains: [][]planBatch{chain}}, true
+}
+
+// plan mirrors StartIncast: one chain, FanIn flows per batch.
+func (spec IncastSpec) plan(n int, env Env) (genPlan, bool) {
+	if spec.HostRate == 0 {
+		spec.HostRate = env.HostRate
+	}
+	if spec.Until == 0 {
+		spec.Until = env.Until
+	}
+	if spec.Seed == 0 {
+		spec.Seed = env.Seed
+	}
+	rng := sim.NewRNG(spec.Seed, "incast")
+	if spec.FanIn >= n {
+		spec.FanIn = n - 1
+	}
+	eventBytes := float64(spec.FanIn) * float64(spec.Size)
+	capacityBps := float64(n) * spec.HostRate.BytesPerSec()
+	period := sim.Time(eventBytes / (capacityBps * spec.LoadFrac) * float64(sim.Second))
+	if period <= 0 {
+		return genPlan{}, false
+	}
+	var chain []planBatch
+	for t := period / 2; t <= spec.Until; t += period {
+		if len(chain)*spec.FanIn >= planCap {
+			return genPlan{}, false
+		}
+		recv := rng.Intn(n)
+		senders := rng.Perm(n)
+		b := planBatch{at: t}
+		for _, s := range senders {
+			if s == recv {
+				continue
+			}
+			b.flows = append(b.flows, FlowSpec{At: t, Src: s, Dst: recv, Size: spec.Size})
+			if len(b.flows) == spec.FanIn {
+				break
+			}
+		}
+		chain = append(chain, b)
+	}
+	if len(chain) == 0 {
+		return genPlan{}, true
+	}
+	return genPlan{chains: [][]planBatch{chain}}, true
+}
+
+// plan mirrors FlowList.Install: entries at or before time zero start
+// inline in list order; later entries are independently scheduled at
+// install, so each is its own one-batch chain.
+func (spec FlowList) plan(n int, env Env) (genPlan, bool) {
+	var p genPlan
+	for _, f := range spec {
+		if env.Until > 0 && f.At > env.Until {
+			continue
+		}
+		if f.At <= 0 {
+			p.inline = append(p.inline, f)
+		} else {
+			p.chains = append(p.chains, []planBatch{{at: f.At, flows: []FlowSpec{f}}})
+		}
+	}
+	return p, true
+}
+
+// plan mirrors ArrivalFunc.Install's one-ahead pull: a prefix of
+// non-positive arrival times starts inline, then one chain whose
+// batches group consecutive arrivals that the lazy pull would start
+// within the same event (nondecreasing times; an arrival at or before
+// the previous batch's time joins that batch).
+func (spec ArrivalFunc) plan(n int, env Env) (genPlan, bool) {
+	var p genPlan
+	i := 0
+	for {
+		f, ok := spec(i)
+		if !ok {
+			return p, true
+		}
+		if env.Until > 0 && f.At > env.Until {
+			return p, true
+		}
+		if f.At > 0 {
+			break
+		}
+		p.inline = append(p.inline, f)
+		i++
+	}
+	var chain []planBatch
+	for count := 0; ; i++ {
+		f, ok := spec(i)
+		if !ok {
+			break
+		}
+		if env.Until > 0 && f.At > env.Until {
+			break
+		}
+		if count++; count > planCap {
+			return genPlan{}, false
+		}
+		if len(chain) > 0 && f.At <= chain[len(chain)-1].at {
+			last := &chain[len(chain)-1]
+			last.flows = append(last.flows, f)
+		} else {
+			chain = append(chain, planBatch{at: f.At, flows: []FlowSpec{f}})
+		}
+	}
+	if len(chain) > 0 {
+		p.chains = append(p.chains, chain)
+	}
+	return p, true
+}
+
+// pendBatch is a scheduled-but-not-fired batch in the replay queue.
+type pendBatch struct {
+	gen, chain, idx int
+	at              sim.Time
+	seq             uint64
+}
+
+type pendHeap []pendBatch
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pendBatch)) }
+func (h *pendHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// PlanArrivals expands every generator's arrival schedule and replays
+// the single-engine flow-ID assignment: IDs go to inline flows in
+// install order first, then to scheduled arrivals in (time, scheduling
+// order) — scheduling order being install order for root events and
+// parent-fire order for chained ones, exactly as the engine's
+// (time, seq) tie-break resolves the lazy generators. Generator i
+// derives its randomness from env.Seed + i, mirroring the runner.
+//
+// ok is false when any generator is closed-loop or unbounded; callers
+// fall back to the single-engine lazy install.
+func PlanArrivals(gens []Generator, n int, env Env) ([]PlannedFlow, bool) {
+	var out []PlannedFlow
+	var id int32
+	emit := func(at, schedAt sim.Time, f FlowSpec) {
+		id++
+		out = append(out, PlannedFlow{At: at, SchedAt: schedAt, Src: f.Src, Dst: f.Dst, Size: f.Size, ID: id})
+	}
+	plans := make([]genPlan, len(gens))
+	var pq pendHeap
+	var seq uint64
+	for gi, g := range gens {
+		ol, ok := g.(openLoop)
+		if !ok || !CanPlan(g) {
+			return nil, false
+		}
+		e := env
+		e.Seed = env.Seed + int64(gi)
+		p, ok := ol.plan(n, e)
+		if !ok {
+			return nil, false
+		}
+		plans[gi] = p
+		for _, f := range p.inline {
+			emit(-1, 0, f)
+		}
+		for ci, c := range p.chains {
+			heap.Push(&pq, pendBatch{gen: gi, chain: ci, at: c[0].at, seq: seq})
+			seq++
+		}
+	}
+	for pq.Len() > 0 {
+		pb := heap.Pop(&pq).(pendBatch)
+		c := plans[pb.gen].chains[pb.chain]
+		schedAt := sim.Time(0) // roots are scheduled at install
+		if pb.idx > 0 {
+			schedAt = c[pb.idx-1].at // chained: scheduled by the previous batch
+		}
+		for _, f := range c[pb.idx].flows {
+			emit(c[pb.idx].at, schedAt, f)
+		}
+		if pb.idx+1 < len(c) {
+			heap.Push(&pq, pendBatch{gen: pb.gen, chain: pb.chain, idx: pb.idx + 1, at: c[pb.idx+1].at, seq: seq})
+			seq++
+		}
+	}
+	return out, true
+}

@@ -39,6 +39,9 @@ type SimConfig struct {
 	// Lossless enables PFC (default true). When false, switches drop
 	// and hosts recover via go-back-N.
 	Lossless *bool
+	// Shards requests multi-core execution of the scenario (see
+	// Experiment.Shards for the determinism contract).
+	Shards int
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 }
@@ -122,6 +125,7 @@ func Run(cfg SimConfig) (*SimResult, error) {
 		Drain:    cfg.Drain,
 		MaxFlows: cfg.Flows,
 		Lossless: cfg.Lossless,
+		Shards:   cfg.Shards,
 		Seed:     cfg.Seed,
 	}.Run()
 }

@@ -1,0 +1,85 @@
+package hpcc_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hpcc"
+)
+
+// The public sharding contract: Experiment.Run with Shards 2 and 4
+// produces a byte-identical SimResult (JSON and all) to the
+// single-engine run at the same seed.
+func TestExperimentShardsByteIdentical(t *testing.T) {
+	mk := func(shards int) hpcc.Experiment {
+		return hpcc.Experiment{
+			Scheme:   "hpcc",
+			Topology: hpcc.Dumbbell{Pairs: 4},
+			Traffic: []hpcc.Traffic{
+				hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: 0.6},
+				hpcc.Incast{FanIn: 3, FlowSizeBytes: 200_000, LoadFraction: 0.02},
+			},
+			Horizon:  2 * time.Millisecond,
+			Drain:    10 * time.Millisecond,
+			MaxFlows: 120,
+			Shards:   shards,
+			Seed:     7,
+		}
+	}
+	base, err := mk(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Flows == 0 {
+		t.Fatal("baseline completed no flows — test is vacuous")
+	}
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		res, err := mk(k).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("Shards=%d SimResult diverged:\n got %s\nwant %s", k, got, want)
+		}
+	}
+}
+
+// A FatTree run with the bounded completed-flow window and shards must
+// also match the unbounded single-engine result.
+func TestExperimentShardsFatTree(t *testing.T) {
+	mk := func(shards, window int) hpcc.Experiment {
+		return hpcc.Experiment{
+			Scheme:              "hpcc",
+			Topology:            hpcc.FatTree{},
+			Traffic:             []hpcc.Traffic{hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: 0.5}},
+			Horizon:             time.Millisecond,
+			Drain:               8 * time.Millisecond,
+			MaxFlows:            80,
+			Shards:              shards,
+			CompletedFlowWindow: window,
+			Seed:                1,
+		}
+	}
+	base, err := mk(1, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(base)
+	got4, err := mk(4, 8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(got4)
+	if string(got) != string(want) {
+		t.Fatalf("sharded+windowed FatTree diverged:\n got %s\nwant %s", got, want)
+	}
+}
