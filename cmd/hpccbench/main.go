@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"hpcc/internal/experiment"
@@ -57,6 +59,17 @@ type ScenarioResult struct {
 	Flows           int     `json:"flows"`
 }
 
+// Speedup is one sharded scenario's wall-clock gain over its
+// single-engine counterpart in the same harness run. Only meaningful on
+// a multi-core host (GOMAXPROCS in the record says which); on one core
+// the shard engines execute serially and the factor hovers near 1.
+type Speedup struct {
+	Scenario string  `json:"scenario"`
+	Base     string  `json:"base"`
+	Shards   int     `json:"shards"`
+	Factor   float64 `json:"speedup"`
+}
+
 // Run is one full harness invocation.
 type Run struct {
 	Label     string           `json:"label"`
@@ -64,6 +77,9 @@ type Run struct {
 	GoVersion string           `json:"go_version"`
 	Procs     int              `json:"gomaxprocs"`
 	Scenarios []ScenarioResult `json:"scenarios"`
+	// Speedups pairs every "<name>-shardsN" scenario with its "<name>"
+	// baseline row from the same run.
+	Speedups []Speedup `json:"speedups,omitempty"`
 }
 
 // outcome is what a scenario body reports back to the measurement
@@ -89,7 +105,17 @@ func main() {
 
 	run := Run{Label: *label, Quick: *quick, GoVersion: runtime.Version(), Procs: runtime.GOMAXPROCS(0)}
 	add := func(name string, fn func() outcome) {
-		run.Scenarios = append(run.Scenarios, measure(name, fn))
+		s := measure(name, fn)
+		run.Scenarios = append(run.Scenarios, s)
+		// A "-shardsN" row that ran on fewer engines would otherwise be
+		// misread as a multi-core measurement.
+		if i := strings.LastIndex(name, "-shards"); i >= 0 {
+			if want, err := strconv.Atoi(name[i+len("-shards"):]); err == nil && s.Shards != want {
+				fmt.Fprintf(os.Stderr,
+					"hpccbench: %s: requested %d shards but ran on %d engine(s)\n",
+					name, want, s.Shards)
+			}
+		}
 	}
 	add("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick, false, 1) })
 	add("fattree-websearch-50-calendar", func() outcome { return fattreeWebSearch(*quick, true, 1) })
@@ -110,11 +136,17 @@ func main() {
 		}
 	}
 
+	run.Speedups = speedups(run.Scenarios)
+
 	fmt.Printf("%-34s %10s %12s %12s %14s %14s %10s\n",
 		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt")
 	for _, s := range run.Scenarios {
 		fmt.Printf("%-34s %10.1f %12d %12.0f %14d %14.0f %10.3f\n",
 			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket)
+	}
+	for _, sp := range run.Speedups {
+		fmt.Printf("speedup %-26s %10.2fx vs %s (%d shards, GOMAXPROCS %d)\n",
+			sp.Scenario, sp.Factor, sp.Base, sp.Shards, run.Procs)
 	}
 
 	if *out != "" {
@@ -133,6 +165,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// speedups pairs each "<base>-shardsN" row with its "<base>" row and
+// records the wall-clock ratio — the multi-core gain the ROADMAP
+// tracks (BENCH_PR5.json and successors).
+func speedups(rows []ScenarioResult) []Speedup {
+	byName := map[string]ScenarioResult{}
+	for _, s := range rows {
+		byName[s.Name] = s
+	}
+	var out []Speedup
+	for _, s := range rows {
+		i := strings.LastIndex(s.Name, "-shards")
+		if i < 0 {
+			continue
+		}
+		base, ok := byName[s.Name[:i]]
+		if !ok || s.WallMS <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Scenario: s.Name,
+			Base:     base.Name,
+			Shards:   s.Shards,
+			Factor:   base.WallMS / s.WallMS,
+		})
+	}
+	return out
 }
 
 // gateAllocs compares allocs/packet per scenario against a baseline

@@ -56,6 +56,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpccsim:", err)
 		os.Exit(1)
 	}
+	if *shards > 1 && res.ShardsUsed != *shards {
+		fmt.Fprintf(os.Stderr,
+			"hpccsim: requested %d shards but the run used %d engine(s) "+
+				"(sharding is best-effort and limited by the fabric's host "+
+				"clusters; results are unaffected)\n",
+			*shards, res.ShardsUsed)
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -66,22 +66,31 @@ type Experiment struct {
 	//
 	// Determinism contract: a sharded run is a pure function of the
 	// Experiment (same spec + Seed + Shards → identical bytes, on any
-	// machine). It also replays the single-engine run exactly — flow
-	// IDs, arrival scheduling and cross-shard wire arming are all
-	// reconstructed — verified byte-for-byte by golden tests on the
-	// dumbbell, Pod and CI FatTree configurations. The one theoretical
-	// exception: when two saturated links in different shards deliver
-	// into one node at the same picosecond, the tie's winner can differ
-	// from the single-engine interleaving (a conservative-lookahead
-	// limit), shifting results at picosecond granularity; runs remain
-	// deterministic and statistically indistinguishable. Start always
-	// drives a single engine.
+	// machine), and it replays the single-engine run exactly — flow
+	// IDs, arrival scheduling, and the order of simultaneous deliveries
+	// all follow the canonical (time, structural key, seq) event rank,
+	// which is derived from the topology and traffic specs rather than
+	// execution history. Golden tests verify byte-identical results on
+	// the dumbbell, Pod and CI FatTree configurations, including a
+	// saturated multipath FatTree where same-picosecond cross-shard
+	// delivery ties actually occur. The run's actual engine count is
+	// reported in SimResult.ShardsUsed. Start always drives a single
+	// engine.
 	Shards int
 	// CompletedFlowWindow, when positive, bounds per-host memory over
 	// long campaigns: each host retains at most this many completed
 	// flows, folding older ones into aggregate counters. Results are
 	// unchanged; only post-run per-flow inspection is truncated.
 	CompletedFlowWindow int
+	// QueueSampleCap, when positive, bounds the retained queue-sample
+	// instants over long horizons: the monitor thins samples with an
+	// adaptive stride (keeping every 2^k-th sampling tick, doubling k
+	// as needed), so a multi-second campaign holds at most this many
+	// instants, spread evenly over the whole run, instead of growing
+	// with the horizon. Queue percentiles are then computed over the
+	// thinned set. Thinning is by tick index alone, so sharded and
+	// single-engine runs retain identical sample sets.
+	QueueSampleCap int
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 }
@@ -126,6 +135,7 @@ func (e Experiment) scenario() (experiment.LoadScenario, []int64, error) {
 		Seed:            e.Seed,
 		Shards:          e.Shards,
 		CompletedWindow: e.CompletedFlowWindow,
+		QueueSampleCap:  e.QueueSampleCap,
 	}
 	for _, o := range e.Observers {
 		if o != nil {
@@ -213,6 +223,7 @@ func summarize(r *experiment.LoadResult, edges []int64) *SimResult {
 		QueueMaxKB:           r.Queue.Max / 1024,
 		PFCPauseFraction:     r.PauseFrac,
 		Drops:                r.Drops,
+		ShardsUsed:           r.Shards,
 	}
 	for _, row := range r.FCT.Buckets(edges) {
 		out.BucketP95 = append(out.BucketP95, BucketPoint{SizeHi: row.Hi, P95: row.Stats.P95, N: row.Stats.N})

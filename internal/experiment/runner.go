@@ -77,8 +77,13 @@ type LoadScenario struct {
 	PFC bool
 
 	QueueSample sim.Time // queue sampling period (default 10 µs)
-	Seed        int64
-	BufferBytes int64 // switch buffer (default 32 MB)
+	// QueueSampleCap, when positive, bounds the retained queue-sample
+	// instants per monitor (adaptive stride thinning; see
+	// stats.QueueMonitor.SampleCap), so multi-second campaigns hold
+	// bounded QueueKB slices instead of growing with the horizon.
+	QueueSampleCap int
+	Seed           int64
+	BufferBytes    int64 // switch buffer (default 32 MB)
 	// INTQuantize rounds every INT stamp through the Figure-7 wire
 	// precision (ASIC emulation ablation).
 	INTQuantize bool
@@ -87,10 +92,11 @@ type LoadScenario struct {
 	// into per-cluster engines synchronized by conservative lookahead,
 	// using up to Shards cores for one scenario. Best-effort: when the
 	// topology does not partition, the traffic is closed-loop (AllToAll,
-	// RPC), or observers are attached, the run falls back to one engine.
-	// Sharded runs are deterministic and replay the single-engine run
-	// byte-for-byte up to same-picosecond cross-shard delivery ties
-	// (see hpcc.Experiment.Shards for the exact contract).
+	// RPC), or observers are attached, the run falls back to one engine
+	// (LoadResult.Shards reports the actual count). Sharded runs are
+	// deterministic and replay the single-engine run byte-for-byte —
+	// simultaneous deliveries included, via the canonical
+	// (time, key, seq) event rank (see hpcc.Experiment.Shards).
 	Shards int
 	// Calendar selects the calendar-queue event scheduler instead of the
 	// binary heap — same fire order (so identical results), better
@@ -260,6 +266,7 @@ func (s *LoadScenario) installTraffic(eng *sim.Engine, nw *topology.Network, fct
 	}
 	for i, g := range s.Traffic {
 		env.Seed = s.Seed + int64(i)
+		env.Key = sim.ArrivalKey(i)
 		g.Install(nw, env)
 	}
 	if s.Obs.OnPFC != nil {
@@ -285,6 +292,7 @@ func RunLoad(s LoadScenario) *LoadResult {
 	s.installTraffic(eng, nw, &res.FCT)
 	mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
 	mon.OnSample = s.Obs.OnQueue
+	mon.SampleCap = s.QueueSampleCap
 
 	eng.RunUntil(s.Until + s.Drain)
 	mon.Stop()
@@ -345,6 +353,7 @@ func StartManual(eng *sim.Engine, s LoadScenario) *ManualNet {
 	if s.Obs.OnQueue != nil {
 		mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
 		mon.OnSample = s.Obs.OnQueue
+		mon.SampleCap = s.QueueSampleCap
 	}
 	return &ManualNet{Network: nw, Obs: s.Obs, Until: s.Until}
 }

@@ -4,6 +4,7 @@ import (
 	"hpcc/internal/fabric"
 	"hpcc/internal/host"
 	"hpcc/internal/packet"
+	"hpcc/internal/sim"
 	"hpcc/internal/stats"
 	"hpcc/internal/topology"
 	"hpcc/internal/workload"
@@ -78,21 +79,18 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
 			continue
 		}
 		pf := pf
-		eng := sh.Engines[shard]
 		start := func() { nw.StartFlowID(pf.ID, pf.Src, pf.Dst, pf.Size, done) }
-		if pf.SchedAt > 0 {
-			// Replay the lazy chain's scheduling instant, so the
-			// arrival event's tie-break position on this engine matches
-			// the single-engine run.
-			eng.At(pf.SchedAt, func() { eng.At(pf.At, start) })
-		} else {
-			eng.At(pf.At, start)
-		}
+		// The generator's canonical arrival key fixes the event's
+		// position among simultaneous events — the same (time, key)
+		// rank the lazy install's chain event carries on one engine.
+		sh.Engines[shard].AtKey(pf.At, sim.ArrivalKey(pf.Gen), start)
 	}
 
 	// One queue monitor per shard over that shard's edge ports: the
 	// same ports sampled at the same instants as the single monitor
-	// would, so the pooled sample multiset is identical.
+	// would, so the pooled sample multiset is identical. The retention
+	// cap thins by tick index, which every monitor shares, so it keeps
+	// the sharded multiset identical to the single-engine one too.
 	edge := nw.EdgePorts()
 	mons := make([]*stats.QueueMonitor, k)
 	for i := 0; i < k; i++ {
@@ -103,6 +101,7 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
 			}
 		}
 		mons[i] = stats.NewQueueMonitor(sh.Engines[i], ports, fabric.PrioData, s.QueueSample, s.Until)
+		mons[i].SampleCap = s.QueueSampleCap
 	}
 
 	sh.Group.RunUntil(s.Until + s.Drain)

@@ -140,6 +140,49 @@ func TestShardedFatTreeGolden(t *testing.T) {
 	}
 }
 
+// The canonical-rank golden: a *saturated* multipath FatTree — ECMP
+// spraying across aggs and cores at 95% Poisson load plus a 16:1
+// incast — is where same-picosecond cross-shard deliveries into one
+// node actually happen. Before the canonical (time, key, seq) rank,
+// those ties fell back to arming order and the sharded run drifted at
+// picosecond granularity; now Shards 1, 2 and 4 must match
+// byte-for-byte on both schedulers.
+func TestShardedSaturatedMultipathGolden(t *testing.T) {
+	mk := func(shards int, calendar bool) LoadScenario {
+		return LoadScenario{
+			Scheme: ByNameMust("hpcc"),
+			Topo:   FatTreeTopo(topology.ScaledFatTree()),
+			Traffic: []workload.Generator{
+				workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.95},
+				workload.IncastSpec{FanIn: 16, Size: 500_000, LoadFrac: 0.1},
+			},
+			MaxFlows:    400,
+			Until:       2 * sim.Millisecond,
+			Drain:       15 * sim.Millisecond,
+			PFC:         true,
+			Seed:        5,
+			BufferBytes: BufferFor(32),
+			Shards:      shards,
+			Calendar:    calendar,
+		}
+	}
+	base := RunLoad(mk(1, false))
+	if len(base.FCT.Records) == 0 {
+		t.Fatal("saturated baseline produced no flows — test is vacuous")
+	}
+	for _, k := range []int{2, 4} {
+		got := RunLoad(mk(k, false))
+		if got.Shards != k {
+			t.Fatalf("requested %d shards, engaged %d", k, got.Shards)
+		}
+		compareRuns(t, "saturated-heap", base, got)
+	}
+	// Calendar engines, alone and sharded, fire in the same canonical
+	// order.
+	compareRuns(t, "saturated-calendar", base, RunLoad(mk(1, true)))
+	compareRuns(t, "saturated-calendar-shards", base, RunLoad(mk(4, true)))
+}
+
 // Closed-loop traffic and observer attachment both fall back to a
 // single engine — silently, with identical results.
 func TestShardedFallbacks(t *testing.T) {
@@ -167,6 +210,35 @@ func TestShardedFallbacks(t *testing.T) {
 	if r3 := RunLoad(s3); r3.Shards != 1 {
 		t.Fatalf("star ran on %d shards, want 1", r3.Shards)
 	}
+}
+
+// Bounded queue-sample retention: the cap must bound QueueKB however
+// long the horizon, and — because thinning is by tick index, which all
+// monitors share — a capped sharded run must retain exactly the same
+// sample multiset as the capped single-engine run.
+func TestQueueSampleCapSharded(t *testing.T) {
+	const capTicks = 16
+	mk := func(shards int) LoadScenario {
+		s := dumbbellScenario(shards, false)
+		s.QueueSampleCap = capTicks
+		return s
+	}
+	base := RunLoad(mk(1))
+	// 8 edge ports on the 4-pair dumbbell: the retained samples are
+	// rows × ports.
+	if len(base.QueueKB) == 0 || len(base.QueueKB) > capTicks*8 {
+		t.Fatalf("capped run retained %d samples, want (0, %d]", len(base.QueueKB), capTicks*8)
+	}
+	uncapped := RunLoad(dumbbellScenario(1, false))
+	if len(uncapped.QueueKB) <= len(base.QueueKB) {
+		t.Fatalf("cap retained %d samples but uncapped has %d — cap never engaged",
+			len(base.QueueKB), len(uncapped.QueueKB))
+	}
+	got := RunLoad(mk(2))
+	if got.Shards != 2 {
+		t.Fatalf("capped sharded run engaged %d shards, want 2", got.Shards)
+	}
+	compareRuns(t, "queue-cap-sharded", base, got)
 }
 
 // Bounded completed-flow retention must not change any aggregate.

@@ -67,6 +67,14 @@ type Port struct {
 	rate  sim.Rate
 	delay sim.Time
 
+	// wireKey is the directed link's build-time structural ID — the
+	// canonical rank class of this wire's delivery events (see
+	// sim.Event.Before). topology.Builder assigns keys in Link order, so
+	// simultaneous deliveries into one node fire in an order derivable
+	// from the topology alone, identically on one engine or N shards.
+	// Zero (hand-wired fabrics) falls back to scheduling order.
+	wireKey uint64
+
 	queues [NumPrio]fifo[entry]
 	qBytes [NumPrio]int64
 	paused [NumPrio]bool
@@ -141,6 +149,14 @@ func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Ti
 
 // Index returns the port's position in its owner's port list.
 func (pt *Port) Index() int { return pt.index }
+
+// SetWireKey assigns the directed link's structural ID, used as the
+// canonical rank of its delivery events. The topology builder calls it
+// once at build time, before any traffic flows.
+func (pt *Port) SetWireKey(key uint64) { pt.wireKey = key }
+
+// WireKey returns the directed link's structural ID (0 if unassigned).
+func (pt *Port) WireKey() uint64 { return pt.wireKey }
 
 // Rate returns the link bandwidth.
 func (pt *Port) Rate() sim.Rate { return pt.rate }
@@ -267,7 +283,7 @@ func (pt *Port) kick() {
 	pt.wire.push(wireEntry{e.p, pt.eng.Now() + txTime + pt.delay})
 	if !pt.wireArmed {
 		pt.wireArmed = true
-		pt.eng.At(pt.wire.peek().at, pt.deliverFn)
+		pt.eng.AtKey(pt.wire.peek().at, pt.wireKey, pt.deliverFn)
 	}
 }
 
@@ -280,7 +296,7 @@ func (pt *Port) deliver() {
 	if pt.wire.empty() {
 		pt.wireArmed = false
 	} else {
-		pt.eng.At(pt.wire.peek().at, pt.deliverFn)
+		pt.eng.AtKey(pt.wire.peek().at, pt.wireKey, pt.deliverFn)
 	}
 	pt.peer.HandleArrival(e.p, pt.peerPort)
 }

@@ -7,6 +7,7 @@ package sim
 // cancel its unrelated successor.
 type Event struct {
 	at    Time
+	key   uint64 // canonical rank class; 0 for ordinary events
 	seq   uint64
 	gen   uint64
 	fn    func()
@@ -16,18 +17,43 @@ type Event struct {
 // At reports when the event is (or was) scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Before reports whether e fires before o: ordered by time, with the
-// scheduling sequence number as the deterministic tie-break (first
-// scheduled, first fired). Schedulers must agree on exactly this order.
+// Before reports whether e fires before o: the canonical
+// (time, key, seq) rank. Simultaneous events order first by their
+// structural key — a topology-derived class that is identical whether
+// the world runs on one engine or many shards (wire deliveries carry
+// their port's build-time ID, traffic arrivals their generator's rank;
+// ordinary events carry 0) — and only then by the per-engine scheduling
+// sequence (first scheduled, first fired). Schedulers must agree on
+// exactly this order.
 func (e *Event) Before(o *Event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
+	if e.key != o.key {
+		return e.key < o.key
+	}
 	return e.seq < o.seq
 }
 
+// Canonical key bands. Keys are structural: derivable from the
+// experiment spec alone, never from execution history, which is what
+// makes the rank identical across single-engine and sharded runs.
+//
+//   - 0: ordinary events (host timers, tx-complete, cc trampolines) —
+//     tie-broken by scheduling order, as before;
+//   - [1, KeyArrivalBase): wire-delivery events, keyed by the directed
+//     port's build-time structural ID (topology.Builder assigns them in
+//     Link order);
+//   - [KeyArrivalBase, ...): traffic-arrival events, keyed by the
+//     generator's index in the scenario (ArrivalKey).
+const KeyArrivalBase uint64 = 1 << 32
+
+// ArrivalKey returns the canonical key for traffic-arrival events of
+// scenario generator i.
+func ArrivalKey(i int) uint64 { return KeyArrivalBase + uint64(i) }
+
 // Scheduler is the pending-event set of an Engine: a priority queue
-// over (time, seq). Implementations must pop events in exactly
+// over (time, key, seq). Implementations must pop events in exactly
 // Event.Before order — the engine's determinism contract — but are free
 // to trade structure for constant factors (binary heap for small
 // pending sets, calendar queue for >100K pending events).
@@ -107,9 +133,16 @@ func (e *Engine) Pending() int { return e.live }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) panics: that is always a logic error in a discrete-event model.
-func (e *Engine) At(t Time, fn func()) Timer {
+// At schedules fn to run at absolute time t with the ordinary rank
+// (key 0). Scheduling in the past (t < Now) panics: that is always a
+// logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) Timer { return e.AtKey(t, 0, fn) }
+
+// AtKey schedules fn to run at absolute time t under canonical key —
+// the structural tie-break class for simultaneous events (see
+// Event.Before). Wire deliveries and traffic arrivals use it so their
+// order at a shared timestamp is derivable from the topology alone.
+func (e *Engine) AtKey(t Time, key uint64, fn func()) Timer {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -121,6 +154,7 @@ func (e *Engine) At(t Time, fn func()) Timer {
 		ev = &Event{index: -1}
 	}
 	ev.at = t
+	ev.key = key
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
@@ -131,7 +165,13 @@ func (e *Engine) At(t Time, fn func()) Timer {
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) Timer {
-	return e.At(e.now+d, fn)
+	return e.AtKey(e.now+d, 0, fn)
+}
+
+// AfterKey schedules fn to run d after the current time under canonical
+// key (see AtKey).
+func (e *Engine) AfterKey(d Time, key uint64, fn func()) Timer {
+	return e.AtKey(e.now+d, key, fn)
 }
 
 // Cancel removes a scheduled event. Cancelling a zero Timer, an event

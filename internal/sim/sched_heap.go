@@ -2,7 +2,8 @@ package sim
 
 import "container/heap"
 
-// Heap is the default Scheduler: a binary heap over (time, seq). Its
+// Heap is the default Scheduler: a binary heap over the canonical
+// (time, key, seq) rank. Its
 // O(log n) push/pop constant is excellent up to tens of thousands of
 // pending events; beyond that the Calendar scheduler wins.
 type Heap struct {
@@ -44,9 +45,10 @@ func (h *Heap) Remove(ev *Event) bool {
 // Len implements Scheduler.
 func (h *Heap) Len() int { return len(h.q) }
 
-// eventQueue implements heap.Interface ordered by (time, seq). The seq
-// tie-break makes execution order deterministic for simultaneous events:
-// first scheduled, first fired.
+// eventQueue implements heap.Interface ordered by the canonical
+// (time, key, seq) rank: simultaneous events fire in structural-key
+// order, then scheduling order — deterministic, and identical across
+// single-engine and sharded runs.
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }

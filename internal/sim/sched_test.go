@@ -50,15 +50,18 @@ func TestCancelAfterFire(t *testing.T) {
 	}
 }
 
-// Property: under any random mix of schedules and cancels, an engine
-// backed by the calendar queue fires exactly the same (time, order)
-// sequence as one backed by the heap. This is the scheduler-equivalence
-// contract the sharded runner's byte-identical results build on.
+// Property: under any random mix of keyed schedules and cancels, an
+// engine backed by the calendar queue fires exactly the same
+// (time, key, order) sequence as one backed by the heap. This is the
+// scheduler-equivalence contract the sharded runner's byte-identical
+// results build on; the canonical key is drawn from all three bands
+// (ordinary 0, wire keys, arrival keys) with dense same-timestamp ties.
 func TestHeapCalendarEquivalence(t *testing.T) {
 	type fireRec struct {
 		at Time
 		id int
 	}
+	keys := []uint64{0, 0, 1, 2, 7, 40, ArrivalKey(0), ArrivalKey(3)}
 	run := func(mk func() *Engine, seed int64, n int) []fireRec {
 		rng := rand.New(rand.NewSource(seed))
 		e := mk()
@@ -70,7 +73,7 @@ func TestHeapCalendarEquivalence(t *testing.T) {
 		schedule = func(at Time) {
 			me := id
 			id++
-			timers = append(timers, e.At(at, func() {
+			timers = append(timers, e.AtKey(at, keys[rng.Intn(len(keys))], func() {
 				fired = append(fired, fireRec{e.Now(), me})
 				// Reschedule a couple of follow-ups with varied gaps,
 				// including zero-gap ties and far-future tails.
@@ -81,7 +84,9 @@ func TestHeapCalendarEquivalence(t *testing.T) {
 					schedule(e.Now() + gaps[rng.Intn(len(gaps))])
 				}
 				// Randomly cancel an old handle (often already fired —
-				// exercising stale-handle safety on both schedulers).
+				// exercising stale-handle safety on both schedulers; the
+				// heap removes tied events eagerly, the calendar leaves
+				// tombstones, and the fire order must agree anyway).
 				if len(timers) > 0 && rng.Intn(3) == 0 {
 					e.Cancel(timers[rng.Intn(len(timers))])
 				}
@@ -146,6 +151,47 @@ func TestCalendarDirected(t *testing.T) {
 		for i := 1; i < len(vs); i++ {
 			if vs[i] < vs[i-1] {
 				t.Fatalf("ties at %dns fired out of scheduling order: %v", k, vs)
+			}
+		}
+	}
+}
+
+// Directed canonical-rank coverage: many events tied at one timestamp
+// with interleaved keys; both schedulers must fire them in (key, seq)
+// order — ordinary key-0 events first in scheduling order, then wire
+// keys ascending, then arrival keys — and removing a tied event (eager
+// extraction on the heap, a tombstone on the calendar) must not perturb
+// its neighbors.
+func TestCanonicalKeyTieOrder(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		fn   func() *Engine
+	}{
+		{"heap", NewEngine},
+		{"calendar", func() *Engine { return NewEngineWith(NewCalendar()) }},
+	} {
+		e := mk.fn()
+		const at = Microsecond
+		var got []int
+		rec := func(id int) func() { return func() { got = append(got, id) } }
+		// Scheduling order deliberately scrambles key order.
+		e.AtKey(at, 5, rec(50))             // wire key 5
+		e.AtKey(at, 0, rec(1))              // ordinary
+		e.AtKey(at, ArrivalKey(1), rec(91)) // arrival gen 1
+		e.AtKey(at, 2, rec(20))             // wire key 2
+		victim := e.AtKey(at, 2, rec(21))   // wire key 2, later seq — removed below
+		e.AtKey(at, 0, rec(2))              // ordinary, later seq
+		e.AtKey(at, ArrivalKey(0), rec(90)) // arrival gen 0
+		e.AtKey(at, 2, rec(22))             // wire key 2, latest seq
+		e.Cancel(victim)
+		e.Run()
+		want := []int{1, 2, 20, 22, 50, 90, 91}
+		if len(got) != len(want) {
+			t.Fatalf("%s: fired %v, want %v", mk.name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: fired %v, want %v", mk.name, got, want)
 			}
 		}
 	}

@@ -15,16 +15,32 @@ type QueueMonitor struct {
 	interval sim.Time
 	until    sim.Time
 
-	// Samples holds every per-port observation (bytes), pooled.
+	// Samples holds the retained per-port observations (bytes), pooled.
 	Samples []float64
-	// Series records (time, total bytes across ports) pairs.
+	// Series records the retained (time, total bytes) pairs.
 	Series []TimePoint
 
 	// OnSample, if set, streams each (time, total bytes) observation as
 	// it is taken — the observer-layer feed TraceQueues and the public
 	// QueueObserver ride. Set it right after NewQueueMonitor; the first
-	// tick fires one interval later.
+	// tick fires one interval later. Streaming sees every tick,
+	// regardless of SampleCap.
 	OnSample func(TimePoint)
+
+	// SampleCap, when positive, bounds the retained sampling instants:
+	// the monitor keeps ticks whose index is a multiple of an adaptive
+	// stride, doubling the stride (and dropping half the retained rows)
+	// whenever the row count would exceed the cap — so an arbitrarily
+	// long campaign holds at most SampleCap instants, thinned evenly
+	// over the whole horizon rather than truncated. The decision
+	// depends only on the tick index, never on port count or values, so
+	// per-shard monitors sharing a tick schedule retain exactly the
+	// same instants as a single whole-fabric monitor (the sharded
+	// byte-identity contract). Set it right after NewQueueMonitor.
+	// Zero (the default) retains every tick.
+	SampleCap int
+	stride    uint64 // tick keep-stride (power of two; 0 until first tick)
+	ticks     uint64 // absolute tick counter
 }
 
 // TimePoint is one time-series observation.
@@ -48,17 +64,47 @@ func (m *QueueMonitor) tick() {
 	if now > m.until {
 		return
 	}
+	if m.stride == 0 {
+		m.stride = 1
+	}
+	idx := m.ticks
+	m.ticks++
+	keep := idx%m.stride == 0
 	total := 0.0
 	for _, p := range m.ports {
 		q := float64(p.QueueBytes(m.prio))
-		m.Samples = append(m.Samples, q)
 		total += q
+		if keep {
+			m.Samples = append(m.Samples, q)
+		}
 	}
-	m.Series = append(m.Series, TimePoint{now, total})
+	if keep {
+		m.Series = append(m.Series, TimePoint{now, total})
+		if m.SampleCap > 0 && len(m.Series) > m.SampleCap {
+			m.decimate()
+		}
+	}
 	if m.OnSample != nil {
 		m.OnSample(TimePoint{now, total})
 	}
 	m.eng.After(m.interval, m.tick)
+}
+
+// decimate doubles the keep-stride and drops the retained rows that no
+// longer land on it. Retained rows are always exactly the ticks
+// 0, stride, 2·stride, …, so row r holds tick r·stride and doubling
+// the stride keeps precisely the even-indexed rows.
+func (m *QueueMonitor) decimate() {
+	np := len(m.ports)
+	m.stride *= 2
+	n := (len(m.Series) + 1) / 2
+	for w := 1; w < n; w++ {
+		r := 2 * w
+		m.Series[w] = m.Series[r]
+		copy(m.Samples[w*np:(w+1)*np], m.Samples[r*np:(r+1)*np])
+	}
+	m.Series = m.Series[:n]
+	m.Samples = m.Samples[:n*np]
 }
 
 // PFCEvent is one pause/resume transition observed at a switch egress

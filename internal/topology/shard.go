@@ -31,31 +31,30 @@ type Sharding struct {
 	BoundaryPorts int
 
 	outs []*boundary
-	arms []*boundary // scratch for exchange's arming sort
 }
 
 // xpkt is one serialized packet in flight across a shard boundary: the
-// frame, its arrival instant at the peer, and the instant the local
-// wire would have armed its delivery event (the single-engine
-// scheduling point, reconstructed so tie-breaks replay identically).
+// frame and its arrival instant at the peer. Nothing about local
+// scheduling history rides along — the delivery event's position among
+// simultaneous events is fixed by the wire's structural key (the
+// canonical (time, key, seq) rank), which is identical to the
+// single-engine run by construction.
 type xpkt struct {
-	p   *packet.Packet
-	at  sim.Time
-	arm sim.Time
+	p  *packet.Packet
+	at sim.Time
 }
 
 // boundary is one directed cross-shard link: the sender side appends
 // serialized packets to an outbox on its shard's goroutine during an
 // epoch; the barrier moves them onto a receiver-side wire that mirrors
-// Port's single-event head-of-wire delivery exactly — the delivery
-// callback pops the head, re-arms for the next packet (assigning its
-// sequence number before HandleArrival's side effects, just as
-// Port.deliver does), then delivers.
+// Port's single-event head-of-wire delivery — the delivery callback
+// pops the head, re-arms for the next packet under the same wire key,
+// then delivers.
 type boundary struct {
-	port    *fabric.Port // sender-side transmitter
-	eng     *sim.Engine  // receiver shard's engine
-	lastArr sim.Time     // previous packet's arrival (arming reconstruction)
-	buf     []xpkt       // sender-side outbox (epoch-local)
+	port *fabric.Port // sender-side transmitter
+	eng  *sim.Engine  // receiver shard's engine
+	key  uint64       // the sender port's structural wire key
+	buf  []xpkt       // sender-side outbox (epoch-local)
 
 	rwire   []xpkt // receiver-side wire, FIFO
 	rhead   int
@@ -79,37 +78,27 @@ func (bd *boundary) pop() xpkt {
 }
 
 // exchange drains every boundary outbox onto its receiver-side wire
-// and arms idle wires, in the reconstructed single-engine arming order
-// (arming instant, then boundary creation order) — so every delivery
-// event's (time, seq) position at the receiver replays the
-// single-engine run's.
+// and arms idle wires. Arming order is irrelevant to results: each
+// delivery event carries its wire's structural key, so its position
+// among simultaneous events at the receiver is the canonical
+// (time, key, seq) rank — the same rank the local wire would have used
+// on a single engine. Outboxes are still drained in boundary creation
+// order to keep the exchange itself a pure function of the partition.
 func (s *Sharding) exchange(now sim.Time) {
-	arms := s.arms[:0]
 	for _, bd := range s.outs {
 		if len(bd.buf) == 0 {
 			continue
-		}
-		if !bd.armed {
-			arms = append(arms, bd)
 		}
 		bd.rwire = append(bd.rwire, bd.buf...)
 		for i := range bd.buf {
 			bd.buf[i].p = nil
 		}
 		bd.buf = bd.buf[:0]
+		if !bd.armed {
+			bd.armed = true
+			bd.eng.AtKey(bd.rwire[bd.rhead].at, bd.key, bd.deliver)
+		}
 	}
-	// Idle wires arm in virtual arming order: every arming instant lies
-	// before this barrier (the head was sent, and its predecessor
-	// delivered, in earlier epochs), so sorting recovers the
-	// chronological order the single engine armed them in.
-	sort.SliceStable(arms, func(i, j int) bool {
-		return arms[i].rwire[arms[i].rhead].arm < arms[j].rwire[arms[j].rhead].arm
-	})
-	for _, bd := range arms {
-		bd.armed = true
-		bd.eng.At(bd.rwire[bd.rhead].at, bd.deliver)
-	}
-	s.arms = arms[:0]
 }
 
 // Shard partitions a freshly built network into (at most) k shards and
@@ -118,7 +107,9 @@ func (s *Sharding) exchange(now sim.Time) {
 // switch-switch links removed — a ToR plus its hosts in a FatTree, a
 // ToR pair plus its dual-homed servers in the testbed Pod, one side of
 // a dumbbell. Clusters are balanced across shards by host count;
-// switch-only clusters (aggs, cores) are spread round-robin.
+// switch-only clusters (aggs, cores) are placed with the shard they
+// share the most links with, cutting boundary traffic versus a blind
+// spread.
 //
 // It must be called before any traffic is installed (flows bind their
 // host's engine at start). mkEngine builds the additional engines —
@@ -126,15 +117,12 @@ func (s *Sharding) exchange(now sim.Time) {
 // single cluster, a zero-delay boundary link) leave the network
 // untouched and usable single-engine.
 //
-// Determinism: a sharded run is a pure function of (network, k, seed).
-// The cross-shard machinery additionally replays the single-engine
-// event interleaving — per-port FIFO wires, re-arm-before-deliver, and
-// arming-instant-sorted injection — so results match the one-engine
-// run byte-for-byte except when two saturated links in different
-// shards deliver into one node at the same picosecond; that tie's
-// winner is decided by cross-shard history no conservative-lookahead
-// scheme can observe, and falls back to arming order then boundary
-// creation order.
+// Determinism: a sharded run is a pure function of (network, k, seed),
+// and it replays the single-engine run byte-for-byte — including
+// simultaneous deliveries. Every delivery event carries its wire's
+// build-time structural key, so the canonical (time, key, seq) rank
+// orders same-picosecond deliveries identically on one engine or N
+// shards; no execution history (arming order) is consulted.
 func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("topology: Shard needs k >= 2, got %d", k)
@@ -243,11 +231,54 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 			nodeShard[id] = tgt
 		}
 	}
-	for i, c := range bare {
-		tgt := i % k
-		for _, id := range c.nodes {
-			nodeShard[id] = tgt
+	// Switch-only clusters (aggs, cores) carry no hosts, so host balance
+	// does not constrain them. Each goes to the shard it already shares
+	// the most links with (ties: the lowest shard) — an agg lands with
+	// the pod whose ToRs it serves, and a core follows the aggs it
+	// uplinks — cutting boundary links versus a blind round-robin
+	// spread. Tiers that only touch other bare switches wait until a
+	// pass has placed their neighbors; anything truly disconnected
+	// falls back round-robin. Every pass iterates in min-node-ID order
+	// over map-free state, so the placement is deterministic.
+	pending := bare
+	rr := 0
+	for len(pending) > 0 {
+		var waiting []*cluster
+		for _, c := range pending {
+			links := make([]int, k)
+			seen := false
+			for _, id := range c.nodes {
+				for _, e := range b.adj[id] {
+					if t, ok := nodeShard[e.peer]; ok {
+						links[t]++
+						seen = true
+					}
+				}
+			}
+			if !seen {
+				waiting = append(waiting, c)
+				continue
+			}
+			tgt := 0
+			for sh := 1; sh < k; sh++ {
+				if links[sh] > links[tgt] {
+					tgt = sh
+				}
+			}
+			for _, id := range c.nodes {
+				nodeShard[id] = tgt
+			}
 		}
+		if len(waiting) == len(pending) { // no progress: isolated tiers
+			for _, c := range waiting {
+				for _, id := range c.nodes {
+					nodeShard[id] = rr % k
+				}
+				rr++
+			}
+			break
+		}
+		pending = waiting
 	}
 
 	// Lookahead: the minimum delay of any cross-shard link.
@@ -287,27 +318,18 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 		if nodeShard[owner] == peerShard {
 			return
 		}
-		bd := &boundary{port: pt, eng: engines[peerShard]}
+		bd := &boundary{port: pt, eng: engines[peerShard], key: pt.WireKey()}
 		bd.deliver = func() {
 			e := bd.pop()
 			if bd.rhead < len(bd.rwire) {
-				bd.eng.At(bd.rwire[bd.rhead].at, bd.deliver)
+				bd.eng.AtKey(bd.rwire[bd.rhead].at, bd.key, bd.deliver)
 			} else {
 				bd.armed = false
 			}
 			bd.port.Peer().HandleArrival(e.p, bd.port.PeerPort())
 		}
-		src := engines[nodeShard[owner]]
 		pt.SetRemote(func(p *packet.Packet, arrive sim.Time) {
-			// The local wire would arm this packet's delivery when it
-			// becomes head-of-wire: at send start if the wire is idle,
-			// else when its predecessor arrives.
-			arm := src.Now()
-			if bd.lastArr > arm {
-				arm = bd.lastArr
-			}
-			bd.lastArr = arrive
-			bd.buf = append(bd.buf, xpkt{p, arrive, arm})
+			bd.buf = append(bd.buf, xpkt{p, arrive})
 		})
 		s.outs = append(s.outs, bd)
 	}

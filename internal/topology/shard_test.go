@@ -146,6 +146,53 @@ func TestShardFatTreePartition(t *testing.T) {
 	}
 }
 
+// Topology-aware placement of bare switch clusters: aggs go with the
+// shard whose ToRs they serve and cores follow the aggs, which must
+// yield strictly fewer boundary ports than the old round-robin spread
+// on the FatTree, and never more on the Pod.
+func TestShardBarePlacementCutsBoundary(t *testing.T) {
+	// ScaledFatTree: 4 ToR clusters, 4 aggs fully meshed to the ToRs,
+	// 2 cores fully meshed to the aggs. Round-robin scattered aggs and
+	// cores across shards, making every agg-core link a potential
+	// boundary: 24 boundary ports at k=2 and 36 at k=4. Adjacency
+	// placement keeps all agg-core links on one shard, leaving only the
+	// unavoidable agg-ToR crossings: 4 aggs x (k-1)/k of their 4 ToR
+	// links, both directions.
+	for _, tc := range []struct {
+		k, want, roundRobin int
+	}{
+		{2, 16, 24},
+		{4, 24, 36},
+	} {
+		hcfg, scfg := shardCfg()
+		nw := FatTree(sim.NewEngine(), ScaledFatTree(), hcfg, scfg)
+		sh, err := Shard(nw, tc.k, sim.NewEngine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.BoundaryPorts != tc.want {
+			t.Fatalf("fattree k=%d: %d boundary ports, want %d", tc.k, sh.BoundaryPorts, tc.want)
+		}
+		if sh.BoundaryPorts >= tc.roundRobin {
+			t.Fatalf("fattree k=%d: %d boundary ports, not below round-robin's %d",
+				tc.k, sh.BoundaryPorts, tc.roundRobin)
+		}
+	}
+
+	// The testbed Pod has one agg tied 2-2 between the two ToR-pair
+	// clusters: no placement beats any other, so the count must simply
+	// not regress past the round-robin figure (4 boundary ports).
+	hcfg, scfg := shardCfg()
+	nw := Pod(sim.NewEngine(), PodSpec{}, hcfg, scfg)
+	sh, err := Shard(nw, 2, sim.NewEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.BoundaryPorts > 4 {
+		t.Fatalf("pod: %d boundary ports, round-robin had 4", sh.BoundaryPorts)
+	}
+}
+
 // Star has a single host cluster: sharding must refuse and leave the
 // network runnable.
 func TestShardStarRefuses(t *testing.T) {

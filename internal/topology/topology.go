@@ -102,6 +102,11 @@ type Builder struct {
 	hcfg   host.Config
 	scfg   fabric.SwitchConfig
 	nextID fabric.NodeID
+	// nextWire numbers directed ports in Link order — the structural
+	// wire key that canonically ranks simultaneous deliveries (see
+	// sim.Event.Before). Build-time state only; it never depends on
+	// traffic, so every run of the same spec ranks wires identically.
+	nextWire uint64
 
 	hosts    []*host.Host
 	switches []*fabric.Switch
@@ -150,9 +155,14 @@ func (b *Builder) AddSwitch() *fabric.Switch {
 }
 
 // Link wires a full-duplex link between two nodes (host or switch).
+// Each direction gets the next structural wire key, so delivery events
+// are canonically ranked by build order.
 func (b *Builder) Link(x, y fabric.Node, rate sim.Rate, delay sim.Time) {
 	xi, yi := b.portCount(x), b.portCount(y)
 	px, py := fabric.Connect(b.eng, x, y, xi, yi, rate, delay)
+	px.SetWireKey(b.nextWire + 1)
+	py.SetWireKey(b.nextWire + 2)
+	b.nextWire += 2
 	b.attach(x, px)
 	b.attach(y, py)
 	b.adj[x.ID()] = append(b.adj[x.ID()], edge{y.ID(), xi, delay})

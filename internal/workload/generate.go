@@ -23,6 +23,9 @@ type PoissonSpec struct {
 	OnDone func(*host.Flow)
 	// Seed makes the arrival sequence deterministic.
 	Seed int64
+	// Key canonically ranks this generator's arrival events among
+	// simultaneous events (see Env.Key); runners set it via Env.
+	Key uint64
 }
 
 // StartPoisson installs the generator on a network. Arrival rate:
@@ -55,9 +58,9 @@ func StartPoisson(nw *topology.Network, spec PoissonSpec) {
 		nw.StartFlow(src, dst, size, spec.OnDone)
 		started++
 		gap := sim.Time(rng.ExpFloat64() * meanGapPs)
-		nw.Eng.After(gap, arrive)
+		nw.Eng.AfterKey(gap, spec.Key, arrive)
 	}
-	nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+	nw.Eng.AfterKey(sim.Time(rng.ExpFloat64()*meanGapPs), spec.Key, arrive)
 }
 
 // IncastSpec schedules periodic fan-in events: FanIn random senders
@@ -72,6 +75,9 @@ type IncastSpec struct {
 	Until    sim.Time
 	OnDone   func(*host.Flow)
 	Seed     int64
+	// Key canonically ranks this generator's arrival events among
+	// simultaneous events (see Env.Key); runners set it via Env.
+	Key uint64
 }
 
 // StartIncast installs the incast generator on a network.
@@ -102,7 +108,7 @@ func StartIncast(nw *topology.Network, spec IncastSpec) {
 				break
 			}
 		}
-		nw.Eng.After(period, fire)
+		nw.Eng.AfterKey(period, spec.Key, fire)
 	}
-	nw.Eng.After(period/2, fire)
+	nw.Eng.AfterKey(period/2, spec.Key, fire)
 }

@@ -22,6 +22,14 @@ type Env struct {
 	// endpoints, response size and request-to-last-byte elapsed time.
 	OnRead func(requester, responder int, size int64, elapsed sim.Time)
 	Seed   int64
+	// Key is the canonical rank of this generator's arrival events
+	// (sim.ArrivalKey(i) for traffic element i). Scenario runners set
+	// it so simultaneous arrivals order by generator, not by engine
+	// scheduling history — the property that lets the sharded replay
+	// install pre-planned arrivals without reconstructing the lazy
+	// install's scheduling instants. Zero (standalone use) falls back
+	// to scheduling order.
+	Key uint64
 }
 
 // Generator is a composable traffic source: anything that can install
@@ -47,6 +55,7 @@ func (spec PoissonSpec) Install(nw *topology.Network, env Env) {
 	if spec.Seed == 0 {
 		spec.Seed = env.Seed
 	}
+	spec.Key = env.Key
 	spec.OnDone = chain(spec.OnDone, env.OnDone)
 	StartPoisson(nw, spec)
 }
@@ -63,6 +72,7 @@ func (spec IncastSpec) Install(nw *topology.Network, env Env) {
 	if spec.Seed == 0 {
 		spec.Seed = env.Seed
 	}
+	spec.Key = env.Key
 	spec.OnDone = chain(spec.OnDone, env.OnDone)
 	StartIncast(nw, spec)
 }
@@ -242,7 +252,7 @@ func (spec FlowList) Install(nw *topology.Network, env Env) {
 		if f.At <= nw.Eng.Now() {
 			start()
 		} else {
-			nw.Eng.At(f.At, start)
+			nw.Eng.AtKey(f.At, env.Key, start)
 		}
 	}
 }
@@ -272,7 +282,7 @@ func (spec ArrivalFunc) Install(nw *topology.Network, env Env) {
 		if f.At <= nw.Eng.Now() {
 			start()
 		} else {
-			nw.Eng.At(f.At, start)
+			nw.Eng.AtKey(f.At, env.Key, start)
 		}
 	}
 	pull(0)

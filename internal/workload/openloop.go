@@ -23,14 +23,12 @@ type PlannedFlow struct {
 	At       sim.Time
 	Src, Dst int
 	Size     int64
-	// SchedAt is the virtual instant the lazy install would have
-	// scheduled this arrival's event (the previous batch's time for
-	// chained arrivals; <= 0 for install-scheduled roots and inline
-	// arrivals). Replaying it keeps the arrival event's (time, seq)
-	// position on its shard engine identical to the single-engine run
-	// even when the arrival ties with packet events at the same
-	// picosecond.
-	SchedAt sim.Time
+	// Gen is the index of the generator that produces this arrival.
+	// Its arrival event carries the canonical key sim.ArrivalKey(Gen)
+	// in both the lazy and the sharded install, so the event's position
+	// among simultaneous events is fixed by (time, key) alone — no
+	// scheduling-instant reconstruction needed.
+	Gen int
 	// ID is the network-unique flow ID, replaying exactly the sequence
 	// the shared counter would assign in a single-engine run.
 	ID int32
@@ -254,9 +252,18 @@ type pendBatch struct {
 type pendHeap []pendBatch
 
 func (h pendHeap) Len() int { return len(h) }
+
+// Less mirrors the engine's canonical rank for arrival events:
+// (time, generator key, scheduling order). Same-generator ties only
+// arise between install-scheduled roots (FlowList entries at one
+// instant), whose engine seq order is their chain push order — seq
+// here.
 func (h pendHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].gen != h[j].gen {
+		return h[i].gen < h[j].gen
 	}
 	return h[i].seq < h[j].seq
 }
@@ -266,20 +273,20 @@ func (h *pendHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h =
 
 // PlanArrivals expands every generator's arrival schedule and replays
 // the single-engine flow-ID assignment: IDs go to inline flows in
-// install order first, then to scheduled arrivals in (time, scheduling
-// order) — scheduling order being install order for root events and
-// parent-fire order for chained ones, exactly as the engine's
-// (time, seq) tie-break resolves the lazy generators. Generator i
-// derives its randomness from env.Seed + i, mirroring the runner.
+// install order first, then to scheduled arrivals in the canonical
+// fire order — (time, generator key, scheduling order), exactly the
+// engine's (time, key, seq) rank when generator i installs with
+// Env.Key = sim.ArrivalKey(i), as the scenario runner does. Generator
+// i derives its randomness from env.Seed + i, mirroring the runner.
 //
 // ok is false when any generator is closed-loop or unbounded; callers
 // fall back to the single-engine lazy install.
 func PlanArrivals(gens []Generator, n int, env Env) ([]PlannedFlow, bool) {
 	var out []PlannedFlow
 	var id int32
-	emit := func(at, schedAt sim.Time, f FlowSpec) {
+	emit := func(at sim.Time, gen int, f FlowSpec) {
 		id++
-		out = append(out, PlannedFlow{At: at, SchedAt: schedAt, Src: f.Src, Dst: f.Dst, Size: f.Size, ID: id})
+		out = append(out, PlannedFlow{At: at, Gen: gen, Src: f.Src, Dst: f.Dst, Size: f.Size, ID: id})
 	}
 	plans := make([]genPlan, len(gens))
 	var pq pendHeap
@@ -297,7 +304,7 @@ func PlanArrivals(gens []Generator, n int, env Env) ([]PlannedFlow, bool) {
 		}
 		plans[gi] = p
 		for _, f := range p.inline {
-			emit(-1, 0, f)
+			emit(-1, gi, f)
 		}
 		for ci, c := range p.chains {
 			heap.Push(&pq, pendBatch{gen: gi, chain: ci, at: c[0].at, seq: seq})
@@ -307,12 +314,8 @@ func PlanArrivals(gens []Generator, n int, env Env) ([]PlannedFlow, bool) {
 	for pq.Len() > 0 {
 		pb := heap.Pop(&pq).(pendBatch)
 		c := plans[pb.gen].chains[pb.chain]
-		schedAt := sim.Time(0) // roots are scheduled at install
-		if pb.idx > 0 {
-			schedAt = c[pb.idx-1].at // chained: scheduled by the previous batch
-		}
 		for _, f := range c[pb.idx].flows {
-			emit(c[pb.idx].at, schedAt, f)
+			emit(c[pb.idx].at, pb.gen, f)
 		}
 		if pb.idx+1 < len(c) {
 			heap.Push(&pq, pendBatch{gen: pb.gen, chain: pb.chain, idx: pb.idx + 1, at: c[pb.idx+1].at, seq: seq})

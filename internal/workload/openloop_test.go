@@ -38,11 +38,14 @@ func TestPlanMatchesLazyInstall(t *testing.T) {
 		t.Fatal("empty plan")
 	}
 
-	// Lazy install on a real network, exactly as the runner does it.
+	// Lazy install on a real network, exactly as the runner does it:
+	// generator i gets Seed+i and the canonical arrival key that the
+	// plan's (time, generator, order) emission mirrors.
 	nw := testNet(n)
 	for i, g := range gens {
 		e := env
 		e.Seed = env.Seed + int64(i)
+		e.Key = sim.ArrivalKey(i)
 		g.Install(nw, e)
 	}
 	nw.Eng.Run()

@@ -70,6 +70,10 @@ type QueueSample struct {
 // Experiment's queue sampling period.
 type QueueObserver struct {
 	OnSample func(QueueSample)
+	// Every, when > 1, streams only every Every-th sample — the stride
+	// knob for long campaigns where per-tick callbacks would swamp the
+	// consumer. The first sample always streams.
+	Every int
 }
 
 func (o QueueObserver) attach(obs *experiment.Obs) {
@@ -77,9 +81,15 @@ func (o QueueObserver) attach(obs *experiment.Obs) {
 		return
 	}
 	fn, prev := o.OnSample, obs.OnQueue
+	every, n := o.Every, 0
 	obs.OnQueue = func(tp stats.TimePoint) {
 		if prev != nil {
 			prev(tp)
+		}
+		if every > 1 {
+			if n++; (n-1)%every != 0 {
+				return
+			}
 		}
 		fn(QueueSample{At: fromSim(tp.T), TotalBytes: int64(tp.V)})
 	}

@@ -67,6 +67,12 @@ type SimResult struct {
 	// PFCPauseFraction is paused (port × time) over the whole run.
 	PFCPauseFraction float64
 	Drops            uint64
+	// ShardsUsed is how many engines actually executed the run. Sharded
+	// execution is best-effort (closed-loop traffic, observers and
+	// non-partitionable topologies fall back to one engine), so this can
+	// be less than the requested Shards; results are identical either
+	// way, only the core usage differs.
+	ShardsUsed int
 	// BucketP95 maps each flow-size bucket edge to its 95th-percentile
 	// slowdown (the paper's FCT-figure series). Buckets with N == 0
 	// report P95 = 0.

@@ -34,6 +34,10 @@ func TestExperimentShardsByteIdentical(t *testing.T) {
 	if base.Flows == 0 {
 		t.Fatal("baseline completed no flows — test is vacuous")
 	}
+	if base.ShardsUsed != 1 {
+		t.Fatalf("baseline ShardsUsed = %d, want 1", base.ShardsUsed)
+	}
+	base.ShardsUsed = 0 // the only field allowed to differ across shard counts
 	want, err := json.Marshal(base)
 	if err != nil {
 		t.Fatal(err)
@@ -43,6 +47,10 @@ func TestExperimentShardsByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if res.ShardsUsed != 2 { // a dumbbell has exactly 2 host clusters
+			t.Fatalf("Shards=%d: ShardsUsed = %d, want 2", k, res.ShardsUsed)
+		}
+		res.ShardsUsed = 0
 		got, err := json.Marshal(res)
 		if err != nil {
 			t.Fatal(err)
@@ -50,6 +58,49 @@ func TestExperimentShardsByteIdentical(t *testing.T) {
 		if string(got) != string(want) {
 			t.Fatalf("Shards=%d SimResult diverged:\n got %s\nwant %s", k, got, want)
 		}
+	}
+}
+
+// Sharded execution is best-effort; the result must say how many
+// engines actually ran so a fallback is never silent. Closed-loop
+// traffic (AllToAll), observers and non-partitionable topologies
+// (Star) all run on one engine regardless of the request.
+func TestExperimentShardsUsedReportsFallback(t *testing.T) {
+	run := func(e hpcc.Experiment) *hpcc.SimResult {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	closed := run(hpcc.Experiment{
+		Topology: hpcc.Dumbbell{Pairs: 2},
+		Traffic:  []hpcc.Traffic{hpcc.AllToAll{FlowSizeBytes: 5_000}},
+		Horizon:  time.Millisecond,
+		Shards:   4,
+	})
+	if closed.ShardsUsed != 1 {
+		t.Fatalf("closed-loop run reports ShardsUsed = %d, want 1", closed.ShardsUsed)
+	}
+	star := run(hpcc.Experiment{
+		Topology: hpcc.Star{Hosts: 6},
+		Traffic:  []hpcc.Traffic{hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: 0.2}},
+		Horizon:  time.Millisecond,
+		MaxFlows: 20,
+		Shards:   4,
+	})
+	if star.ShardsUsed != 1 {
+		t.Fatalf("star run reports ShardsUsed = %d, want 1", star.ShardsUsed)
+	}
+	sharded := run(hpcc.Experiment{
+		Topology: hpcc.Dumbbell{Pairs: 4},
+		Traffic:  []hpcc.Traffic{hpcc.Poisson{CDF: hpcc.WebSearchCDF(), Load: 0.4}},
+		Horizon:  time.Millisecond,
+		MaxFlows: 40,
+		Shards:   2,
+	})
+	if sharded.ShardsUsed != 2 {
+		t.Fatalf("partitionable run reports ShardsUsed = %d, want 2", sharded.ShardsUsed)
 	}
 }
 
@@ -73,11 +124,16 @@ func TestExperimentShardsFatTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	base.ShardsUsed = 0
 	want, _ := json.Marshal(base)
 	got4, err := mk(4, 8).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got4.ShardsUsed != 4 {
+		t.Fatalf("ShardsUsed = %d, want 4", got4.ShardsUsed)
+	}
+	got4.ShardsUsed = 0
 	got, _ := json.Marshal(got4)
 	if string(got) != string(want) {
 		t.Fatalf("sharded+windowed FatTree diverged:\n got %s\nwant %s", got, want)
