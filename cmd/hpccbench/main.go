@@ -57,6 +57,18 @@ type ScenarioResult struct {
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
 	BytesPerPacket  float64 `json:"bytes_per_packet"`
 	Flows           int     `json:"flows"`
+
+	// Shard-synchronization accounting (sharded scenarios only).
+	// Epochs counts conservative epochs, including post-rollback
+	// replays; SpecEpochs/SpecCommits/SpecRollbacks describe the
+	// optimistic barriers when Speculated; SyncOverhead is the fraction
+	// of wall time spent synchronizing rather than running engines.
+	Speculated    bool    `json:"speculated,omitempty"`
+	Epochs        uint64  `json:"epochs,omitempty"`
+	SpecEpochs    uint64  `json:"spec_epochs,omitempty"`
+	SpecCommits   uint64  `json:"spec_commits,omitempty"`
+	SpecRollbacks uint64  `json:"spec_rollbacks,omitempty"`
+	SyncOverhead  float64 `json:"sync_overhead,omitempty"`
 }
 
 // Speedup is one sharded scenario's wall-clock gain over its
@@ -85,11 +97,13 @@ type Run struct {
 // outcome is what a scenario body reports back to the measurement
 // wrapper: simulated packets and virtual time elapsed.
 type outcome struct {
-	dataPkts uint64
-	portPkts uint64
-	flows    int
-	shards   int
-	simTime  sim.Time
+	dataPkts   uint64
+	portPkts   uint64
+	flows      int
+	shards     int
+	simTime    sim.Time
+	speculated bool
+	sync       sim.SyncStats
 }
 
 func main() {
@@ -116,23 +130,40 @@ func main() {
 					name, want, s.Shards)
 			}
 		}
+		// Likewise a "-spec" row that silently fell back to conservative
+		// barriers, or whose optimistic bet mostly lost, is not measuring
+		// what its name claims.
+		if strings.Contains(name, "-spec") {
+			if !s.Speculated {
+				fmt.Fprintf(os.Stderr,
+					"hpccbench: %s: speculation requested but the run used conservative barriers\n", name)
+			} else if s.SpecRollbacks > s.SpecCommits {
+				fmt.Fprintf(os.Stderr,
+					"hpccbench: %s: speculative rollbacks (%d) outnumbered commits (%d); conservative sync dominated\n",
+					name, s.SpecRollbacks, s.SpecCommits)
+			}
+		}
 	}
-	add("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick, false, 1) })
-	add("fattree-websearch-50-calendar", func() outcome { return fattreeWebSearch(*quick, true, 1) })
+	add("fattree-websearch-50", func() outcome { return fattreeWebSearch(*quick, false, 1, false) })
+	add("fattree-websearch-50-calendar", func() outcome { return fattreeWebSearch(*quick, true, 1, false) })
 	if *shards > 1 {
 		add(fmt.Sprintf("fattree-websearch-50-shards%d", *shards),
-			func() outcome { return fattreeWebSearch(*quick, false, *shards) })
+			func() outcome { return fattreeWebSearch(*quick, false, *shards, false) })
+		add(fmt.Sprintf("fattree-websearch-50-spec-shards%d", *shards),
+			func() outcome { return fattreeWebSearch(*quick, false, *shards, true) })
 	}
 	add("incast-16-1", func() outcome { return incast16(*quick) })
 	add("parkinglot-4seg", func() outcome { return parkingLot(*quick) })
 	if *paper {
-		add("paper-fattree-websearch", func() outcome { return paperFatTree(false, 1) })
-		add("paper-fattree-websearch-calendar", func() outcome { return paperFatTree(true, 1) })
+		add("paper-fattree-websearch", func() outcome { return paperFatTree(false, 1, false) })
+		add("paper-fattree-websearch-calendar", func() outcome { return paperFatTree(true, 1, false) })
 		if *shards > 1 {
 			// Calendar engines under sharding: the name encodes both
 			// knobs so the row is not read as sharding alone.
 			add(fmt.Sprintf("paper-fattree-websearch-calendar-shards%d", *shards),
-				func() outcome { return paperFatTree(true, *shards) })
+				func() outcome { return paperFatTree(true, *shards, false) })
+			add(fmt.Sprintf("paper-fattree-websearch-spec-shards%d", *shards),
+				func() outcome { return paperFatTree(false, *shards, true) })
 		}
 	}
 
@@ -181,7 +212,9 @@ func speedups(rows []ScenarioResult) []Speedup {
 		if i < 0 {
 			continue
 		}
-		base, ok := byName[s.Name[:i]]
+		// A speculative row's single-engine counterpart is the plain
+		// scenario: serial execution has no barriers to speculate past.
+		base, ok := byName[strings.TrimSuffix(s.Name[:i], "-spec")]
 		if !ok || s.WallMS <= 0 {
 			continue
 		}
@@ -253,15 +286,21 @@ func measure(name string, fn func() outcome) ScenarioResult {
 	allocs := m1.Mallocs - m0.Mallocs
 	bytes := m1.TotalAlloc - m0.TotalAlloc
 	r := ScenarioResult{
-		Name:        name,
-		Shards:      oc.shards,
-		WallMS:      float64(wall.Nanoseconds()) / 1e6,
-		SimulatedMS: oc.simTime.Seconds() * 1e3,
-		Events:      meter.Events(),
-		DataPackets: oc.dataPkts,
-		PortPackets: oc.portPkts,
-		Allocs:      allocs,
-		Flows:       oc.flows,
+		Name:          name,
+		Shards:        oc.shards,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		SimulatedMS:   oc.simTime.Seconds() * 1e3,
+		Events:        meter.Events(),
+		DataPackets:   oc.dataPkts,
+		PortPackets:   oc.portPkts,
+		Allocs:        allocs,
+		Flows:         oc.flows,
+		Speculated:    oc.speculated,
+		Epochs:        oc.sync.Epochs,
+		SpecEpochs:    oc.sync.SpecEpochs,
+		SpecCommits:   oc.sync.SpecCommits,
+		SpecRollbacks: oc.sync.SpecRollbacks,
+		SyncOverhead:  oc.sync.SyncOverhead(),
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		r.EventsPerSec = float64(r.Events) / secs
@@ -278,32 +317,31 @@ func measure(name string, fn func() outcome) ScenarioResult {
 // Poisson arrivals at 50% load on the CI-sized FatTree, HPCC with INT.
 // The calendar and shards knobs swap engine mechanics without changing
 // results.
-func fattreeWebSearch(quick, calendar bool, shards int) outcome {
+func fattreeWebSearch(quick, calendar bool, shards int, speculate bool) outcome {
 	s := experiment.LoadScenario{
-		Scheme:   mustScheme("hpcc"),
-		Topo:     experiment.FatTreeTopo(topology.ScaledFatTree()),
-		Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.5}},
-		MaxFlows: 1200,
-		Until:    8 * sim.Millisecond,
-		Drain:    20 * sim.Millisecond,
-		PFC:      true,
-		Seed:     1,
-		Calendar: calendar,
-		Shards:   shards,
+		Scheme:    mustScheme("hpcc"),
+		Topo:      experiment.FatTreeTopo(topology.ScaledFatTree()),
+		Traffic:   []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.5}},
+		MaxFlows:  1200,
+		Until:     8 * sim.Millisecond,
+		Drain:     20 * sim.Millisecond,
+		PFC:       true,
+		Seed:      1,
+		Calendar:  calendar,
+		Shards:    shards,
+		Speculate: speculate,
 	}
 	if quick {
 		s.MaxFlows = 200
 		s.Until = 2 * sim.Millisecond
 		s.Drain = 10 * sim.Millisecond
 	}
-	r := experiment.RunLoad(s)
-	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started,
-		shards: r.Shards, simTime: r.Elapsed}
+	return runScenario(s)
 }
 
 // paperFatTree is the ROADMAP scale target: WebSearch at 50% load on
 // the full 320-host, 16-core/20-agg/20-ToR paper fabric.
-func paperFatTree(calendar bool, shards int) outcome {
+func paperFatTree(calendar bool, shards int, speculate bool) outcome {
 	s := experiment.LoadScenario{
 		Scheme:      mustScheme("hpcc"),
 		Topo:        experiment.FatTreeTopo(topology.PaperFatTree()),
@@ -315,14 +353,26 @@ func paperFatTree(calendar bool, shards int) outcome {
 		Seed:        1,
 		Calendar:    calendar,
 		Shards:      shards,
+		Speculate:   speculate,
 		BufferBytes: experiment.BufferFor(320),
 		// Paper-scale runs hold hundreds of thousands of flows over a
 		// campaign; bound per-host retention like a long campaign would.
 		CompletedWindow: 256,
 	}
-	r := experiment.RunLoad(s)
+	return runScenario(s)
+}
+
+// runScenario is the harness's RunLoad: a sharded run dying mid-epoch
+// is a harness bug, and a half-measured scenario must not land in the
+// recorded trajectory.
+func runScenario(s experiment.LoadScenario) outcome {
+	r, err := experiment.RunLoad(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccbench:", err)
+		os.Exit(1)
+	}
 	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started,
-		shards: r.Shards, simTime: r.Elapsed}
+		shards: r.Shards, simTime: r.Elapsed, speculated: r.Speculated, sync: r.Sync}
 }
 
 // incast16 runs repeated 16-to-1 fan-in rounds of 100 KB per sender on

@@ -32,6 +32,8 @@ func main() {
 		incast   = flag.Bool("incast", false, "add periodic fan-in events (2% of capacity)")
 		lossy    = flag.Bool("lossy", false, "disable PFC (go-back-N recovery)")
 		shards   = flag.Int("shards", 1, "partition the fabric across this many engines (multi-core; byte-identical results)")
+		spec     = flag.Bool("spec", true, "speculative shard synchronization (checkpoint + rollback instead of a barrier every epoch; byte-identical results)")
+		specWin  = flag.Int("spec-window", 0, "speculation window in lookahead epochs (0 = default 8)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		asJSON   = flag.Bool("json", false, "emit the result as one JSON document")
 	)
@@ -39,18 +41,20 @@ func main() {
 
 	lossless := !*lossy
 	res, err := hpcc.Run(hpcc.SimConfig{
-		Scheme:     *scheme,
-		Topology:   *topo,
-		PaperScale: *paper,
-		Workload:   *work,
-		Load:       *load,
-		Flows:      *flows,
-		Duration:   *duration,
-		Drain:      *drain,
-		Incast:     *incast,
-		Lossless:   &lossless,
-		Shards:     *shards,
-		Seed:       *seed,
+		Scheme:            *scheme,
+		Topology:          *topo,
+		PaperScale:        *paper,
+		Workload:          *work,
+		Load:              *load,
+		Flows:             *flows,
+		Duration:          *duration,
+		Drain:             *drain,
+		Incast:            *incast,
+		Lossless:          &lossless,
+		Shards:            *shards,
+		Speculate:         spec,
+		SpeculationWindow: *specWin,
+		Seed:              *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpccsim:", err)
@@ -62,6 +66,19 @@ func main() {
 				"(sharding is best-effort and limited by the fabric's host "+
 				"clusters; results are unaffected)\n",
 			*shards, res.ShardsUsed)
+	}
+	if *spec && res.ShardsUsed > 1 && !res.Speculated {
+		fmt.Fprintln(os.Stderr,
+			"hpccsim: speculation is unavailable for this scenario (ECN-marking "+
+				"schemes replay with an RNG); the run used conservative barriers; "+
+				"results are unaffected")
+	}
+	if res.Speculated && res.SpecRollbacks > res.SpecCommits {
+		fmt.Fprintf(os.Stderr,
+			"hpccsim: speculative rollbacks (%d) outnumbered commits (%d); "+
+				"cross-shard traffic arrives too densely for this fabric to "+
+				"speculate profitably; results are unaffected\n",
+			res.SpecRollbacks, res.SpecCommits)
 	}
 
 	if *asJSON {

@@ -88,6 +88,30 @@ type DCQCN struct {
 	timeStage    int
 	byteStage    int
 	bytesSince   int64
+
+	snap *DCQCN // speculative-execution checkpoint slot
+}
+
+// Checkpoint captures the algorithm's state for speculative execution
+// (the sim.Checkpointable contract): DCQCN's state is a flat value, so
+// a struct copy into a reused internal slot captures it completely. The
+// alpha/rate timer events live in the engine and are checkpointed
+// there.
+func (d *DCQCN) Checkpoint() {
+	s := d.snap
+	if s == nil {
+		s = new(DCQCN)
+	}
+	*s = *d
+	s.snap = nil
+	d.snap = s
+}
+
+// Rollback restores the last Checkpoint in place.
+func (d *DCQCN) Rollback() {
+	s := d.snap
+	*d = *s
+	d.snap = s
 }
 
 // New returns a factory producing DCQCN instances.

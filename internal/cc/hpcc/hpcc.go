@@ -99,6 +99,29 @@ type HPCC struct {
 
 	winInit float64
 	minWnd  float64
+
+	snap *HPCC // speculative-execution checkpoint slot
+}
+
+// Checkpoint captures the algorithm's state for speculative execution
+// (the sim.Checkpointable contract): HPCC's state is a flat value, so a
+// struct copy into an internal slot captures it completely. The slot is
+// allocated once and reused across checkpoints.
+func (h *HPCC) Checkpoint() {
+	s := h.snap
+	if s == nil {
+		s = new(HPCC)
+	}
+	*s = *h
+	s.snap = nil
+	h.snap = s
+}
+
+// Rollback restores the last Checkpoint in place.
+func (h *HPCC) Rollback() {
+	s := h.snap
+	*h = *s
+	h.snap = s
 }
 
 // New returns a factory producing HPCC instances with the given config.

@@ -66,6 +66,28 @@ type Timely struct {
 	prevRTT  sim.Time
 	rttDiff  float64 // EWMA of RTT differences, picoseconds
 	negCount int     // consecutive non-positive gradients
+
+	snap *Timely // speculative-execution checkpoint slot
+}
+
+// Checkpoint captures the algorithm's state for speculative execution
+// (the sim.Checkpointable contract): TIMELY's state is a flat value, so
+// a struct copy into a reused internal slot captures it completely.
+func (t *Timely) Checkpoint() {
+	s := t.snap
+	if s == nil {
+		s = new(Timely)
+	}
+	*s = *t
+	s.snap = nil
+	t.snap = s
+}
+
+// Rollback restores the last Checkpoint in place.
+func (t *Timely) Rollback() {
+	s := t.snap
+	*t = *s
+	t.snap = s
 }
 
 // New returns a factory producing TIMELY instances.

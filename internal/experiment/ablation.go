@@ -117,7 +117,7 @@ func AblationINTQuantization(sc Scale) []QuantizeRow {
 	sc.normalize(300)
 	var out []QuantizeRow
 	for _, quant := range []bool{false, true} {
-		r := RunLoad(LoadScenario{
+		r := mustRunLoad(LoadScenario{
 			Scheme:      ByNameMust("hpcc"),
 			Topo:        PodTopo(topology.PodSpec{}),
 			Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.3}},

@@ -54,7 +54,7 @@ func HadoopIncastMix(spec topology.FatTreeSpec, sc Scale) *HadoopIncastResult {
 	res := &HadoopIncastResult{FanIn: fanIn}
 	for _, scheme := range []Scheme{ByNameMust("hpcc"), ByNameMust("dcqcn")} {
 		res.Schemes = append(res.Schemes, scheme.Name)
-		r := RunLoad(LoadScenario{
+		r := mustRunLoad(LoadScenario{
 			Scheme: scheme,
 			Topo:   FatTreeTopo(spec),
 			Traffic: []workload.Generator{
@@ -128,7 +128,7 @@ func RPCFatTree(spec topology.FatTreeSpec, sc Scale) *RPCResult {
 	res := &RPCResult{}
 	for _, scheme := range []Scheme{ByNameMust("hpcc"), ByNameMust("dcqcn")} {
 		res.Schemes = append(res.Schemes, scheme.Name)
-		r := RunLoad(LoadScenario{
+		r := mustRunLoad(LoadScenario{
 			Scheme:      scheme,
 			Topo:        FatTreeTopo(spec),
 			Traffic:     []workload.Generator{workload.RPCSpec{CDF: workload.WebSearch(), Load: 0.3}},

@@ -68,7 +68,7 @@ func Fig02(sc Scale) *Fig02Result {
 			PFC:      true,
 			Seed:     sc.Seed,
 		}
-		plain := RunLoad(base)
+		plain := mustRunLoad(base)
 		res.Plain = append(res.Plain, plain)
 		res.Buckets = append(res.Buckets, plain.FCT.Buckets(stats.WebSearchEdges()))
 
@@ -76,7 +76,7 @@ func Fig02(sc Scale) *Fig02Result {
 		withIncast.Traffic = append(withIncast.Traffic[:1:1],
 			workload.IncastSpec{FanIn: 16, Size: 500_000, LoadFrac: 0.02})
 		withIncast.BufferBytes = BufferFor(32)
-		res.Incast = append(res.Incast, RunLoad(withIncast))
+		res.Incast = append(res.Incast, mustRunLoad(withIncast))
 	}
 	return res
 }
@@ -139,7 +139,7 @@ func Fig03(sc Scale) *Fig03Result {
 		var lrs []*LoadResult
 		for _, th := range Fig03Thresholds() {
 			scheme := DCQCNWithECN(dcqcn.Config{}, th[0], th[1])
-			r := RunLoad(LoadScenario{
+			r := mustRunLoad(LoadScenario{
 				Scheme:   scheme,
 				Topo:     PodTopo(topology.PodSpec{}),
 				Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: load}},

@@ -65,7 +65,7 @@ func Fig10(sc Scale) *Fig10Result {
 		var rowSet [][]stats.BucketRow
 		var lr []*LoadResult
 		for _, scheme := range schemes {
-			r := RunLoad(LoadScenario{
+			r := mustRunLoad(LoadScenario{
 				Scheme:   scheme,
 				Topo:     PodTopo(topology.PodSpec{}),
 				Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.WebSearch(), Load: load}},

@@ -63,7 +63,7 @@ func Fig11(spec topology.FatTreeSpec, sc Scale) *Fig11Result {
 			if p.incast != nil {
 				traffic = append(traffic, *p.incast)
 			}
-			r := RunLoad(LoadScenario{
+			r := mustRunLoad(LoadScenario{
 				Scheme:      scheme,
 				Topo:        FatTreeTopo(spec),
 				Traffic:     traffic,

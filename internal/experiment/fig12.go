@@ -61,7 +61,7 @@ func Fig12(spec topology.FatTreeSpec, sc Scale) *Fig12Result {
 		var rows [][]stats.BucketRow
 		var lrs []*LoadResult
 		for _, mode := range fig12Modes() {
-			r := RunLoad(LoadScenario{
+			r := mustRunLoad(LoadScenario{
 				Scheme: scheme,
 				Topo:   FatTreeTopo(spec),
 				Traffic: []workload.Generator{

@@ -94,7 +94,7 @@ func TestParkingLotTopo(t *testing.T) {
 	if topo.BaseRTT() <= topo.(topology.ParkingLotSpec).Delay {
 		t.Fatal("parking-lot base RTT not derived from chain length")
 	}
-	r := RunLoad(LoadScenario{
+	r := runLoadT(t, LoadScenario{
 		Scheme:   ByNameMust("hpcc"),
 		Topo:     topo,
 		Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: 0.3}},

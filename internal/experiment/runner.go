@@ -102,6 +102,18 @@ type LoadScenario struct {
 	// binary heap — same fire order (so identical results), better
 	// constants with >100K pending events.
 	Calendar bool
+	// Speculate requests optimistic shard synchronization on sharded
+	// runs: every shard checkpoints at the epoch barrier, runs past the
+	// conservative horizon, and rolls back + replays conservatively when
+	// a cross-shard arrival lands inside the speculated span — so the
+	// result stays byte-identical to the serial run. Best-effort, like
+	// Shards itself: fabrics whose switches mark ECN with an RNG, and
+	// schemes whose CC state cannot checkpoint itself, run with plain
+	// conservative barriers (LoadResult.Speculated reports what engaged).
+	Speculate bool
+	// SpecWindow caps the speculative horizon in lookahead epochs beyond
+	// the conservative one (0 means the sim-layer default, 8).
+	SpecWindow int
 	// CompletedWindow, when positive, bounds per-host memory on long
 	// runs: each host retains at most this many completed flows, evicting
 	// the oldest into aggregate counters.
@@ -164,6 +176,11 @@ type LoadResult struct {
 	// Shards is how many engines actually executed the run (1 unless
 	// sharded execution was requested and engaged).
 	Shards int
+	// Speculated reports whether optimistic shard synchronization was
+	// engaged; Sync counts its epochs, commits and rollbacks and the
+	// fraction of wall time spent synchronizing.
+	Speculated bool
+	Sync       sim.SyncStats
 
 	// DataPackets counts data packets emitted by every sender flow
 	// (retransmissions included); PortPackets counts packets serialized
@@ -277,12 +294,19 @@ func (s *LoadScenario) installTraffic(eng *sim.Engine, nw *topology.Network, fct
 // RunLoad executes the scenario to its horizon and collects results.
 // With Shards > 1 it partitions the fabric across per-cluster engines
 // (falling back to one engine when the scenario cannot shard); results
-// are byte-identical either way.
-func RunLoad(s LoadScenario) *LoadResult {
+// are byte-identical either way. The error is non-nil only when a
+// sharded run dies mid-flight (a shard goroutine panicked, or the
+// speculation machinery detected a broken invariant) — scenario specs
+// that merely cannot shard fall back, they do not error.
+func RunLoad(s LoadScenario) (*LoadResult, error) {
 	s.normalize()
 	if s.Shards > 1 {
-		if res, ok := runLoadSharded(s); ok {
-			return res
+		res, ok, err := runLoadSharded(s)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
 		}
 	}
 	eng := s.newEngine()
@@ -304,6 +328,19 @@ func RunLoad(s LoadScenario) *LoadResult {
 	}
 	collectFabric(res, nw, s.Until+s.Drain)
 	res.Elapsed = eng.Now()
+	return res, nil
+}
+
+// mustRunLoad is RunLoad for the figure and sweep drivers, whose
+// scenarios are program constants: a run error there is a programming
+// error, not an input error, so it panics rather than threading error
+// returns through every figure. User-supplied specs (the public
+// Experiment surface, cmd flags) go through RunLoad and get the error.
+func mustRunLoad(s LoadScenario) *LoadResult {
+	res, err := RunLoad(s)
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
 	return res
 }
 

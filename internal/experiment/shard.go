@@ -23,15 +23,21 @@ import (
 //     otherwise run concurrently on shard goroutines).
 //
 // Anything else returns !ok and RunLoad falls back to one engine.
-func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
+//
+// The error return is reserved for runs that engaged and then died:
+// a shard goroutine panicking mid-epoch, or the speculation machinery
+// catching a broken invariant. Those are surfaced, not swallowed —
+// falling back after half a run executed would silently double-count
+// fabric state.
+func runLoadSharded(s LoadScenario) (*LoadResult, bool, error) {
 	if s.Obs.OnFlow != nil || s.Obs.OnQueue != nil || s.Obs.OnPFC != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	for _, g := range s.Traffic {
 		if !workload.CanPlan(g) {
 			// Cheap refusal before building anything: the fallback path
 			// builds its own fabric.
-			return nil, false
+			return nil, false, nil
 		}
 	}
 	rate := s.Topo.Rate()
@@ -45,11 +51,11 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
 		Seed:     s.Seed,
 	})
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	sh, err := topology.Shard(nw, s.Shards, s.newEngine)
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	k := len(sh.Engines)
 
@@ -104,9 +110,31 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
 		mons[i].SampleCap = s.QueueSampleCap
 	}
 
-	sh.Group.RunUntil(s.Until + s.Drain)
+	// Optimistic barriers: best-effort, like sharding itself. The CC
+	// algorithm's state rolls back through the host checkpoint only when
+	// the scheme's instances can checkpoint themselves, so probe one;
+	// EnableSpeculation separately refuses RNG-marking fabrics. Either
+	// refusal leaves the run on plain conservative barriers.
+	speculated := false
+	if s.Speculate {
+		if _, ok := s.Scheme.Factory().(sim.Checkpointable); ok {
+			if sh.EnableSpeculation(s.SpecWindow) == nil {
+				speculated = true
+				// Result collectors mutate during speculative epochs, so
+				// they must roll back alongside the world they observe.
+				for i := 0; i < k; i++ {
+					sh.Attach(i, &fcts[i])
+					sh.Attach(i, mons[i])
+				}
+			}
+		}
+	}
 
-	res := &LoadResult{Scheme: s.Scheme.Name, Shards: k}
+	if err := sh.Group.RunUntil(s.Until + s.Drain); err != nil {
+		return nil, false, err
+	}
+
+	res := &LoadResult{Scheme: s.Scheme.Name, Shards: k, Speculated: speculated, Sync: sh.Group.Stats}
 	var samples []float64
 	for _, m := range mons {
 		m.Stop()
@@ -122,5 +150,5 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool) {
 	}
 	collectFabric(res, nw, s.Until+s.Drain)
 	res.Elapsed = sh.Engines[0].Now()
-	return res, true
+	return res, true, nil
 }

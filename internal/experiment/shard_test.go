@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -28,6 +30,16 @@ func dumbbellScenario(shards int, calendar bool) LoadScenario {
 		Shards:   shards,
 		Calendar: calendar,
 	}
+}
+
+// runLoadT is RunLoad with test-fatal error handling.
+func runLoadT(t *testing.T, s LoadScenario) *LoadResult {
+	t.Helper()
+	r, err := RunLoad(s)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	return r
 }
 
 // canonicalize sorts the order-independent record and sample lists so
@@ -86,14 +98,17 @@ func compareRuns(t *testing.T, name string, base, got *LoadResult) {
 // The golden sharding contract: 2-shard and 4-shard dumbbell runs are
 // byte-identical to the single-engine run at the same seed.
 func TestShardedDumbbellGolden(t *testing.T) {
-	base := RunLoad(dumbbellScenario(1, false))
+	base := runLoadT(t, dumbbellScenario(1, false))
 	if base.Shards != 1 || len(base.FCT.Records) == 0 {
 		t.Fatalf("baseline: shards=%d records=%d", base.Shards, len(base.FCT.Records))
 	}
 	for _, k := range []int{2, 4} {
-		got := RunLoad(dumbbellScenario(k, false))
-		if got.Shards != 2 { // a dumbbell has exactly 2 host clusters
-			t.Fatalf("%d-shard run engaged %d shards, want 2", k, got.Shards)
+		got := runLoadT(t, dumbbellScenario(k, false))
+		// The dumbbell has 2 rack-level host clusters; asking for more
+		// engages the per-host refinement (each host its own cluster, the
+		// cores one switch cluster), so 4 shards really means 4 engines.
+		if got.Shards != k {
+			t.Fatalf("%d-shard run engaged %d shards, want %d", k, got.Shards, k)
 		}
 		compareRuns(t, "dumbbell-shards", base, got)
 	}
@@ -102,11 +117,11 @@ func TestShardedDumbbellGolden(t *testing.T) {
 // The calendar-queue scheduler must not change results either — same
 // fire order, different structure.
 func TestCalendarSchedulerGolden(t *testing.T) {
-	base := RunLoad(dumbbellScenario(1, false))
-	cal := RunLoad(dumbbellScenario(1, true))
+	base := runLoadT(t, dumbbellScenario(1, false))
+	cal := runLoadT(t, dumbbellScenario(1, true))
 	compareRuns(t, "calendar", base, cal)
 	// And combined: sharded execution on calendar engines.
-	both := RunLoad(dumbbellScenario(2, true))
+	both := runLoadT(t, dumbbellScenario(2, true))
 	compareRuns(t, "calendar+shards", base, both)
 }
 
@@ -127,12 +142,12 @@ func TestShardedFatTreeGolden(t *testing.T) {
 			Shards:      shards,
 		}
 	}
-	base := RunLoad(mk(1))
+	base := runLoadT(t, mk(1))
 	if len(base.FCT.Records) == 0 {
 		t.Fatal("baseline produced no flows")
 	}
 	for _, k := range []int{2, 4} {
-		got := RunLoad(mk(k))
+		got := runLoadT(t, mk(k))
 		if got.Shards != k {
 			t.Fatalf("requested %d shards, engaged %d", k, got.Shards)
 		}
@@ -166,12 +181,12 @@ func TestShardedSaturatedMultipathGolden(t *testing.T) {
 			Calendar:    calendar,
 		}
 	}
-	base := RunLoad(mk(1, false))
+	base := runLoadT(t, mk(1, false))
 	if len(base.FCT.Records) == 0 {
 		t.Fatal("saturated baseline produced no flows — test is vacuous")
 	}
-	for _, k := range []int{2, 4} {
-		got := RunLoad(mk(k, false))
+	for _, k := range []int{2, 4, 8} {
+		got := runLoadT(t, mk(k, false))
 		if got.Shards != k {
 			t.Fatalf("requested %d shards, engaged %d", k, got.Shards)
 		}
@@ -179,8 +194,116 @@ func TestShardedSaturatedMultipathGolden(t *testing.T) {
 	}
 	// Calendar engines, alone and sharded, fire in the same canonical
 	// order.
-	compareRuns(t, "saturated-calendar", base, RunLoad(mk(1, true)))
-	compareRuns(t, "saturated-calendar-shards", base, RunLoad(mk(4, true)))
+	compareRuns(t, "saturated-calendar", base, runLoadT(t, mk(1, true)))
+	compareRuns(t, "saturated-calendar-shards", base, runLoadT(t, mk(4, true)))
+
+	// Speculative barriers on the same saturated fabric: commits and
+	// rollbacks both happen here, and the result must not move a byte.
+	for _, k := range []int{2, 4, 8} {
+		s := mk(k, false)
+		s.Speculate = true
+		got := runLoadT(t, s)
+		if !got.Speculated {
+			t.Fatalf("%d-shard run did not engage speculation", k)
+		}
+		if got.Sync.SpecEpochs == 0 {
+			t.Fatalf("%d-shard speculative run attempted no speculative epochs", k)
+		}
+		compareRuns(t, "saturated-spec", base, got)
+	}
+	sc := mk(8, true)
+	sc.Speculate = true
+	compareRuns(t, "saturated-spec-calendar", base, runLoadT(t, sc))
+}
+
+// Speculation on the dumbbell: every knob combination — scheduler ×
+// window — replays the serial bytes, and a tight window forces the
+// adaptive machinery through its rollback path.
+func TestSpeculativeDumbbellGolden(t *testing.T) {
+	base := runLoadT(t, dumbbellScenario(1, false))
+	for _, cal := range []bool{false, true} {
+		for _, win := range []int{0, 2} {
+			s := dumbbellScenario(2, cal)
+			s.Speculate = true
+			s.SpecWindow = win
+			got := runLoadT(t, s)
+			if !got.Speculated {
+				t.Fatalf("cal=%v win=%d: speculation did not engage", cal, win)
+			}
+			if got.Sync.SpecEpochs == 0 {
+				t.Fatalf("cal=%v win=%d: no speculative epochs attempted", cal, win)
+			}
+			compareRuns(t, "spec-dumbbell", base, got)
+		}
+	}
+}
+
+// The randomized speculation property: whatever the workload mix,
+// seed, shard count, scheduler or window, a speculative run replays
+// the serial bytes. Scenario parameters are drawn from a seeded RNG so
+// a failure reproduces; across the trials at least one rollback must
+// occur, or the property was never exercised on its hard path.
+func TestSpeculativePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var rollbacks, commits uint64
+	for trial := 0; trial < 5; trial++ {
+		seed := 1 + rng.Int63n(1000)
+		s := LoadScenario{
+			Scheme: ByNameMust("hpcc"),
+			Topo: topology.DumbbellSpec{Pairs: 3 + rng.Intn(3), HostRate: 100 * sim.Gbps,
+				CoreRate: 100 * sim.Gbps, Delay: sim.Microsecond},
+			Traffic: []workload.Generator{
+				workload.PoissonSpec{CDF: workload.WebSearch(), Load: 0.3 + 0.5*rng.Float64()},
+				workload.IncastSpec{FanIn: 2 + rng.Intn(4), Size: 100_000, LoadFrac: 0.02},
+			},
+			MaxFlows: 80,
+			Until:    sim.Millisecond,
+			Drain:    8 * sim.Millisecond,
+			PFC:      true,
+			Seed:     seed,
+		}
+		base := runLoadT(t, s)
+		sp := s
+		sp.Shards = 2 + rng.Intn(3)
+		sp.Calendar = rng.Intn(2) == 1
+		sp.Speculate = true
+		sp.SpecWindow = []int{0, 2, 4, 8}[rng.Intn(4)]
+		got := runLoadT(t, sp)
+		if !got.Speculated {
+			t.Fatalf("trial %d (seed %d): speculation did not engage", trial, seed)
+		}
+		name := fmt.Sprintf("trial%d-seed%d-shards%d-win%d", trial, seed, sp.Shards, sp.SpecWindow)
+		compareRuns(t, name, base, got)
+		rollbacks += got.Sync.SpecRollbacks
+		commits += got.Sync.SpecCommits
+	}
+	if rollbacks == 0 {
+		t.Fatal("no trial rolled back — the hard path of the property went untested")
+	}
+	if commits == 0 {
+		t.Fatal("no trial committed — speculation never paid off in any trial")
+	}
+}
+
+// Speculation is best-effort: an ECN-marking scheme (RNG in the
+// forwarding path) must fall back to conservative barriers, not error
+// and not diverge.
+func TestSpeculationFallsBackOnECN(t *testing.T) {
+	mk := func(shards int, spec bool) LoadScenario {
+		s := dumbbellScenario(shards, false)
+		s.Scheme = ByNameMust("dcqcn")
+		s.Speculate = spec
+		return s
+	}
+	base := runLoadT(t, mk(1, false))
+	got := runLoadT(t, mk(2, true))
+	if got.Speculated {
+		t.Fatal("ECN fabric engaged speculation; RNG marking cannot replay")
+	}
+	if got.Shards != 2 {
+		t.Fatalf("conservative fallback ran on %d shards, want 2", got.Shards)
+	}
+	compareRuns(t, "ecn-conservative", base, got)
 }
 
 // Closed-loop traffic and observer attachment both fall back to a
@@ -188,7 +311,7 @@ func TestShardedSaturatedMultipathGolden(t *testing.T) {
 func TestShardedFallbacks(t *testing.T) {
 	s := dumbbellScenario(2, false)
 	s.Traffic = append(s.Traffic, workload.AllToAllSpec{Size: 5_000})
-	r := RunLoad(s)
+	r := runLoadT(t, s)
 	if r.Shards != 1 {
 		t.Fatalf("closed-loop traffic ran on %d shards, want fallback to 1", r.Shards)
 	}
@@ -196,7 +319,7 @@ func TestShardedFallbacks(t *testing.T) {
 	s2 := dumbbellScenario(2, false)
 	var qs []stats.TimePoint
 	s2.Obs.OnQueue = func(tp stats.TimePoint) { qs = append(qs, tp) }
-	r2 := RunLoad(s2)
+	r2 := runLoadT(t, s2)
 	if r2.Shards != 1 {
 		t.Fatalf("observer run used %d shards, want fallback to 1", r2.Shards)
 	}
@@ -204,11 +327,26 @@ func TestShardedFallbacks(t *testing.T) {
 		t.Fatal("observer saw no samples in fallback mode")
 	}
 
-	// Star does not partition: fallback too.
+	// A flat star used to be a fallback case; per-host sharding now
+	// partitions it (each host its own cluster, the hub switch whole),
+	// still byte-identical to the serial run.
 	s3 := dumbbellScenario(2, false)
 	s3.Topo = StarTopo(8)
-	if r3 := RunLoad(s3); r3.Shards != 1 {
-		t.Fatalf("star ran on %d shards, want 1", r3.Shards)
+	serial := s3
+	serial.Shards = 1
+	base3 := runLoadT(t, serial)
+	r3 := runLoadT(t, s3)
+	if r3.Shards != 2 {
+		t.Fatalf("star ran on %d shards, want 2", r3.Shards)
+	}
+	compareRuns(t, "star-per-host", base3, r3)
+
+	// A single-host fabric genuinely cannot partition.
+	s4 := dumbbellScenario(2, false)
+	s4.Topo = StarTopo(1)
+	s4.Traffic = nil
+	if r4 := runLoadT(t, s4); r4.Shards != 1 {
+		t.Fatalf("1-host star ran on %d shards, want 1", r4.Shards)
 	}
 }
 
@@ -223,18 +361,18 @@ func TestQueueSampleCapSharded(t *testing.T) {
 		s.QueueSampleCap = capTicks
 		return s
 	}
-	base := RunLoad(mk(1))
+	base := runLoadT(t, mk(1))
 	// 8 edge ports on the 4-pair dumbbell: the retained samples are
 	// rows × ports.
 	if len(base.QueueKB) == 0 || len(base.QueueKB) > capTicks*8 {
 		t.Fatalf("capped run retained %d samples, want (0, %d]", len(base.QueueKB), capTicks*8)
 	}
-	uncapped := RunLoad(dumbbellScenario(1, false))
+	uncapped := runLoadT(t, dumbbellScenario(1, false))
 	if len(uncapped.QueueKB) <= len(base.QueueKB) {
 		t.Fatalf("cap retained %d samples but uncapped has %d — cap never engaged",
 			len(base.QueueKB), len(uncapped.QueueKB))
 	}
-	got := RunLoad(mk(2))
+	got := runLoadT(t, mk(2))
 	if got.Shards != 2 {
 		t.Fatalf("capped sharded run engaged %d shards, want 2", got.Shards)
 	}
@@ -243,12 +381,12 @@ func TestQueueSampleCapSharded(t *testing.T) {
 
 // Bounded completed-flow retention must not change any aggregate.
 func TestCompletedWindowAccounting(t *testing.T) {
-	base := RunLoad(dumbbellScenario(1, false))
+	base := runLoadT(t, dumbbellScenario(1, false))
 	s := dumbbellScenario(1, false)
 	s.CompletedWindow = 4
-	got := RunLoad(s)
+	got := runLoadT(t, s)
 	compareRuns(t, "completed-window", base, got)
 	s.Shards = 2
-	gotSharded := RunLoad(s)
+	gotSharded := runLoadT(t, s)
 	compareRuns(t, "completed-window-sharded", base, gotSharded)
 }

@@ -51,7 +51,7 @@ func SweepFBHadoop(spec topology.FatTreeSpec, sc Scale) *SweepResult {
 	for _, load := range res.Loads {
 		var lrs []*LoadResult
 		for _, scheme := range schemes {
-			lrs = append(lrs, RunLoad(LoadScenario{
+			lrs = append(lrs, mustRunLoad(LoadScenario{
 				Scheme:      scheme,
 				Topo:        FatTreeTopo(spec),
 				Traffic:     []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: load}},
@@ -110,7 +110,7 @@ func ParkingLotCompare(sc Scale) *ParkingLotResult {
 	res := &ParkingLotResult{Segments: segments}
 	for _, scheme := range Fig11Schemes() {
 		res.Schemes = append(res.Schemes, scheme.Name)
-		r := RunLoad(LoadScenario{
+		r := mustRunLoad(LoadScenario{
 			Scheme:   scheme,
 			Topo:     ParkingLotTopo(segments, 100*sim.Gbps),
 			Traffic:  []workload.Generator{workload.PoissonSpec{CDF: workload.FBHadoop(), Load: 0.5}},

@@ -111,6 +111,11 @@ type Port struct {
 	// pauseHook, if set, observes every pause/resume transition of this
 	// transmitter (the observer layer's PFC event stream).
 	pauseHook func(prio uint8, paused bool)
+
+	// snap is the speculative-execution checkpoint slot (see
+	// checkpoint.go); allocated lazily so non-speculative runs pay
+	// nothing.
+	snap *portSnap
 }
 
 // SetPauseHook installs fn to observe every PFC pause/resume transition

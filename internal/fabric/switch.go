@@ -97,6 +97,10 @@ type Switch struct {
 	enqueued   uint64
 	ecnMarked  uint64
 	routeErrsr uint64
+
+	// snap is the speculative-execution checkpoint slot (see
+	// checkpoint.go); allocated lazily.
+	snap *switchSnap
 }
 
 // NewSwitch creates a switch; ports are attached afterwards with

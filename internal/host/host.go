@@ -129,6 +129,20 @@ type Host struct {
 	retiredHead int
 	evicted     int
 	evictedPkts uint64
+
+	// Speculative-execution support (see checkpoint.go). liveList
+	// tracks the not-yet-done sender flows so a checkpoint walks live
+	// state instead of the whole retained-flow map; liveWraps tracks
+	// in-flight CC trampolines so their (flow, callback) pairs can be
+	// restored; the journals record flow-map membership changes since
+	// the last checkpoint so a rollback undoes insertions and evictions
+	// in O(changes).
+	liveList  []*Flow
+	liveWraps []*schedWrap
+	journal   bool
+	jAdded    []*Flow
+	jRemoved  []*Flow
+	snap      *hostSnap
 }
 
 // doneRingSize bounds the completed-inbound-flow memory (power of two).
@@ -163,6 +177,7 @@ type schedWrap struct {
 	f   *Flow
 	fn  func()
 	run func()
+	idx int // position in the host's liveWraps list; -1 when free
 }
 
 func (h *Host) scheduleCC(f *Flow, d sim.Time, fn func()) {
@@ -175,6 +190,7 @@ func (h *Host) scheduleCC(f *Flow, d sim.Time, fn func()) {
 		w.run = func() {
 			f, fn := w.f, w.fn
 			w.f, w.fn = nil, nil
+			h.unlinkWrap(w)
 			h.wrapFree = append(h.wrapFree, w)
 			if f.alive {
 				fn()
@@ -183,7 +199,32 @@ func (h *Host) scheduleCC(f *Flow, d sim.Time, fn func()) {
 		}
 	}
 	w.f, w.fn = f, fn
+	w.idx = len(h.liveWraps)
+	h.liveWraps = append(h.liveWraps, w)
 	h.eng.After(d, w.run)
+}
+
+// unlinkWrap removes a firing trampoline from the live list (swap
+// delete; order is irrelevant, only membership matters for snapshots).
+func (h *Host) unlinkWrap(w *schedWrap) {
+	last := len(h.liveWraps) - 1
+	lw := h.liveWraps[last]
+	h.liveWraps[w.idx] = lw
+	lw.idx = w.idx
+	h.liveWraps[last] = nil
+	h.liveWraps = h.liveWraps[:last]
+	w.idx = -1
+}
+
+// unlinkFlow removes a finished flow from the live list (swap delete).
+func (h *Host) unlinkFlow(f *Flow) {
+	last := len(h.liveList) - 1
+	lf := h.liveList[last]
+	h.liveList[f.liveIdx] = lf
+	lf.liveIdx = f.liveIdx
+	h.liveList[last] = nil
+	h.liveList = h.liveList[:last]
+	f.liveIdx = -1
 }
 
 type pendingRead struct {
@@ -314,6 +355,11 @@ func (h *Host) StartFlow(id int32, dst fabric.NodeID, size int64, portIdx int, o
 		env := cc.Env{LineRate: port.Rate(), BaseRTT: h.cfg.BaseRTT}
 		f.irnCap = env.BDP()
 	}
+	f.liveIdx = len(h.liveList)
+	h.liveList = append(h.liveList, f)
+	if h.journal {
+		h.jAdded = append(h.jAdded, f)
+	}
 	f.initTimers()
 	f.alg = h.cfg.CC()
 	f.alg.Init(cc.Env{
@@ -424,6 +470,9 @@ func (h *Host) noteFlowDone(f *Flow) {
 	if g := h.flows[old]; g != nil && g.done {
 		h.evicted++
 		h.evictedPkts += g.pktsSent
+		if h.journal {
+			h.jRemoved = append(h.jRemoved, g)
+		}
 		delete(h.flows, old)
 	}
 }

@@ -74,6 +74,15 @@ type Scheduler interface {
 	Remove(ev *Event) bool
 	// Len returns the number of queued events, including tombstones.
 	Len() int
+	// Do calls fn for every queued event (tombstones included) in
+	// unspecified order. Engine.Checkpoint snapshots the pending set
+	// through it; order is irrelevant because a restore re-Pushes and
+	// the (time, key, seq) rank is total.
+	Do(fn func(*Event))
+	// Reset discards every queued event, retaining internal capacity.
+	// Engine.Rollback empties the structure through it before
+	// re-pushing the checkpointed pending set.
+	Reset()
 }
 
 // Timer is a cancellable handle to a scheduled event. The zero Timer
@@ -109,6 +118,7 @@ type Engine struct {
 	stopped bool
 	pool    []*Event // freelist for fired events
 	fired   uint64
+	snap    engineSnap
 }
 
 // NewEngine returns an engine with the clock at zero, backed by the
@@ -292,3 +302,77 @@ func (e *Engine) RunBefore(deadline Time) {
 // Stop makes the innermost Run/RunUntil return after the current event
 // completes. Callable from inside event callbacks.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Checkpointable is mutable world state that can be captured at a
+// speculation barrier and restored on rollback. Checkpoint overwrites
+// the component's single internal snapshot slot (so repeated
+// checkpoints reuse its buffers); Rollback restores the last
+// checkpoint and may be called any number of times.
+//
+// The contract that makes cheap snapshots possible is pointer
+// stability: every implementation restores state in place, through the
+// same pointers the rest of the world already holds (pooled events,
+// pooled packets, flow structs), so cross-references — Timer handles,
+// queued *Packet entries, callback closures — survive a rollback
+// without any fix-up pass.
+type Checkpointable interface {
+	Checkpoint()
+	Rollback()
+}
+
+// evSnap is one pending event at checkpoint time: the pooled struct's
+// identity and a full value copy. Restoring writes the value back
+// through the pointer, so Timer handles taken before the checkpoint
+// (and held inside checkpointed host state) become valid again for
+// free — same struct, same generation.
+type evSnap struct {
+	ptr *Event
+	val Event
+}
+
+type engineSnap struct {
+	valid bool
+	now   Time
+	seq   uint64
+	live  int
+	fired uint64
+	evs   []evSnap
+	pool  []*Event
+}
+
+// Checkpoint captures the engine's complete state — clock, sequence
+// counter, pending-event set (tombstones included) and event freelist —
+// into an internal snapshot slot, overwriting any previous snapshot.
+func (e *Engine) Checkpoint() {
+	s := &e.snap
+	s.valid = true
+	s.now, s.seq, s.live, s.fired = e.now, e.seq, e.live, e.fired
+	s.evs = s.evs[:0]
+	e.sched.Do(func(ev *Event) {
+		s.evs = append(s.evs, evSnap{ptr: ev, val: *ev})
+	})
+	s.pool = append(s.pool[:0], e.pool...)
+}
+
+// Rollback restores the last Checkpoint in place: the scheduler is
+// emptied and the checkpointed pending set re-pushed through the
+// original Event pointers (restoring at/key/seq/gen/fn), and the
+// freelist is reset to its checkpointed contents. Event structs
+// allocated during the rolled-back run are simply dropped. Panics if
+// no checkpoint was taken.
+func (e *Engine) Rollback() {
+	s := &e.snap
+	if !s.valid {
+		panic("sim: Engine.Rollback without Checkpoint")
+	}
+	e.now, e.seq, e.live, e.fired = s.now, s.seq, s.live, s.fired
+	e.stopped = false
+	e.sched.Reset()
+	for i := range s.evs {
+		ev := s.evs[i].ptr
+		*ev = s.evs[i].val
+		ev.index = -1
+		e.sched.Push(ev)
+	}
+	e.pool = append(e.pool[:0], s.pool...)
+}

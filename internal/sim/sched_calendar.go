@@ -29,6 +29,7 @@ type Calendar struct {
 
 	overflow     []*Event // events at/after winEnd, unordered
 	ofMin, ofMax Time
+	ofSpare      []*Event // retired overflow array, reused by the next refill
 
 	total  int
 	active bool
@@ -93,6 +94,51 @@ func (c *Calendar) Remove(ev *Event) bool { return false }
 // Len implements Scheduler.
 func (c *Calendar) Len() int { return c.total }
 
+// Do implements Scheduler: walks the active bucket's heap, the ring
+// buckets and the overflow. Drained buckets are empty slices, so the
+// blanket walk visits exactly the queued events.
+func (c *Calendar) Do(fn func(*Event)) {
+	for _, ev := range c.curq {
+		fn(ev)
+	}
+	for _, b := range c.buckets {
+		for _, ev := range b {
+			fn(ev)
+		}
+	}
+	for _, ev := range c.overflow {
+		fn(ev)
+	}
+}
+
+// Reset implements Scheduler: deactivates the window and empties every
+// slice in place, keeping all backing arrays for reuse.
+func (c *Calendar) Reset() {
+	for i := range c.curq {
+		c.curq[i] = nil
+	}
+	c.curq = c.curq[:0]
+	for i, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		for j := range b {
+			b[j] = nil
+		}
+		c.buckets[i] = b[:0]
+	}
+	for i := range c.overflow {
+		c.overflow[i] = nil
+	}
+	c.overflow = c.overflow[:0]
+	c.ringLive = 0
+	c.total = 0
+	c.active = false
+	c.cur = 0
+	c.width, c.winEnd, c.curStart = 0, 0, 0
+	c.ofMin, c.ofMax = 0, 0
+}
+
 // ensure activates buckets until the earliest pending event heads the
 // current bucket's heap, refilling the window from overflow when the
 // whole window has drained.
@@ -102,11 +148,6 @@ func (c *Calendar) ensure() *Event {
 			return c.curq[0]
 		}
 		if c.ringLive > 0 {
-			// Hand the drained bucket's backing array back before
-			// activating the next nonempty bucket.
-			if c.cur >= 0 && c.buckets[c.cur] == nil {
-				c.buckets[c.cur] = c.curq[:0]
-			}
 			for {
 				c.cur++
 				c.curStart += c.width
@@ -114,8 +155,13 @@ func (c *Calendar) ensure() *Event {
 					break
 				}
 			}
-			c.curq = eventQueue(c.buckets[c.cur])
-			c.buckets[c.cur] = nil
+			// Swap the drained current array with the bucket being
+			// activated: both backing arrays stay in circulation, so a
+			// window full of activations allocates nothing once slices
+			// reach their steady-state capacity.
+			taken := c.buckets[c.cur]
+			c.buckets[c.cur] = c.curq[:0]
+			c.curq = eventQueue(taken)
 			c.ringLive -= len(c.curq)
 			heap.Init(&c.curq)
 			continue
@@ -129,7 +175,12 @@ func (c *Calendar) ensure() *Event {
 
 // refill re-anchors the window at the overflow's earliest event and
 // re-tunes the bucket width so the window spans the whole overflow,
-// then redistributes every overflowed event into its bucket.
+// then redistributes every overflowed event into its bucket. The old
+// overflow array is retired to ofSpare and becomes the next window's
+// overflow, so refills ping-pong two arrays instead of growing a fresh
+// one each time. (Stale *Event entries linger past len in the spare
+// array; events are pooled for the engine's lifetime, so they pin no
+// otherwise-free memory.)
 func (c *Calendar) refill() {
 	old := c.overflow
 	span := c.ofMax - c.ofMin + 1
@@ -139,12 +190,13 @@ func (c *Calendar) refill() {
 	c.cur = -1
 	c.curStart = winStart - c.width
 	c.curq = c.curq[:0]
-	c.overflow = nil
+	c.overflow = c.ofSpare[:0]
 	c.ringLive = 0
 	for _, ev := range old {
 		idx := int((ev.at - winStart) / c.width)
 		c.buckets[idx] = append(c.buckets[idx], ev)
 	}
 	c.ringLive = len(old)
+	c.ofSpare = old[:0]
 	c.active = true
 }

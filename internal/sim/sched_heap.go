@@ -45,6 +45,22 @@ func (h *Heap) Remove(ev *Event) bool {
 // Len implements Scheduler.
 func (h *Heap) Len() int { return len(h.q) }
 
+// Do implements Scheduler: heap order is irrelevant for snapshots, so
+// this is a plain slice walk.
+func (h *Heap) Do(fn func(*Event)) {
+	for _, ev := range h.q {
+		fn(ev)
+	}
+}
+
+// Reset implements Scheduler, keeping the backing array for reuse.
+func (h *Heap) Reset() {
+	for i := range h.q {
+		h.q[i] = nil
+	}
+	h.q = h.q[:0]
+}
+
 // eventQueue implements heap.Interface ordered by the canonical
 // (time, key, seq) rank: simultaneous events fire in structural-key
 // order, then scheduling order — deterministic, and identical across

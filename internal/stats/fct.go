@@ -44,10 +44,21 @@ func IdealFCT(size int64, rate sim.Rate, baseRTT sim.Time, mtu int, intHeader bo
 // FCTSet accumulates completed flows.
 type FCTSet struct {
 	Records []FCTRecord
+
+	mark int // Checkpoint high-water mark
 }
 
 // Add appends one record.
 func (s *FCTSet) Add(r FCTRecord) { s.Records = append(s.Records, r) }
+
+// Checkpoint marks the current record count (the set is append-only, so
+// a length suffices). Part of the sim.Checkpointable contract used by
+// speculative shard synchronization.
+func (s *FCTSet) Checkpoint() { s.mark = len(s.Records) }
+
+// Rollback truncates back to the last Checkpoint, dropping records
+// appended by a rolled-back speculative run.
+func (s *FCTSet) Rollback() { s.Records = s.Records[:s.mark] }
 
 // Slowdowns returns every record's slowdown.
 func (s *FCTSet) Slowdowns() []float64 {

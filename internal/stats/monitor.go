@@ -41,6 +41,52 @@ type QueueMonitor struct {
 	SampleCap int
 	stride    uint64 // tick keep-stride (power of two; 0 until first tick)
 	ticks     uint64 // absolute tick counter
+
+	snap monSnap // speculative-execution checkpoint
+}
+
+// monSnap is the monitor's checkpoint. Without a SampleCap the retained
+// rows are append-only, so lengths suffice; with a cap, decimation
+// rewrites the retained prefix in place, so full copies are kept.
+type monSnap struct {
+	valid             bool
+	deep              bool
+	nSamples, nSeries int
+	stride, ticks     uint64
+	samples           []float64
+	series            []TimePoint
+}
+
+// Checkpoint captures the monitor's retained rows and tick counters,
+// overwriting the previous checkpoint (sim.Checkpointable; the tick
+// event itself is engine state).
+func (m *QueueMonitor) Checkpoint() {
+	s := &m.snap
+	s.valid = true
+	s.stride, s.ticks = m.stride, m.ticks
+	s.deep = m.SampleCap > 0
+	if s.deep {
+		s.samples = append(s.samples[:0], m.Samples...)
+		s.series = append(s.series[:0], m.Series...)
+		return
+	}
+	s.nSamples, s.nSeries = len(m.Samples), len(m.Series)
+}
+
+// Rollback restores the last Checkpoint.
+func (m *QueueMonitor) Rollback() {
+	s := &m.snap
+	if !s.valid {
+		panic("stats: QueueMonitor.Rollback without Checkpoint")
+	}
+	m.stride, m.ticks = s.stride, s.ticks
+	if s.deep {
+		m.Samples = append(m.Samples[:0], s.samples...)
+		m.Series = append(m.Series[:0], s.series...)
+		return
+	}
+	m.Samples = m.Samples[:s.nSamples]
+	m.Series = m.Series[:s.nSeries]
 }
 
 // TimePoint is one time-series observation.

@@ -31,6 +31,14 @@ type Sharding struct {
 	BoundaryPorts int
 
 	outs []*boundary
+
+	// Speculation support (see speculate.go): per-shard packet pools,
+	// per-shard checkpointable world state (engine, nodes, ports, plus
+	// anything the caller Attaches), and the boundaries grouped by
+	// receiver shard (their wires are receiver-side state).
+	pools    []*packet.Pool
+	ck       [][]sim.Checkpointable
+	inBounds [][]*boundary
 }
 
 // xpkt is one serialized packet in flight across a shard boundary: the
@@ -60,6 +68,21 @@ type boundary struct {
 	rhead   int
 	armed   bool
 	deliver func()
+
+	// Speculation state (see speculate.go): outbox packets staged at a
+	// speculative barrier, and the outbox/receiver-wire checkpoints.
+	staged []xpkt
+	sbuf   []xwireSnap
+	swire  []xwireSnap
+	sarmed bool
+}
+
+// cluster is one unsplittable partition unit: a connected component of
+// the node graph under the active link filter (see clusterize).
+type cluster struct {
+	root  fabric.NodeID
+	nodes []fabric.NodeID
+	hosts int
 }
 
 func (bd *boundary) pop() xpkt {
@@ -132,31 +155,9 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 		return nil, fmt.Errorf("topology: network has no retained builder")
 	}
 
-	// Union-find over nodes, merging across host-adjacent links only.
 	isHost := make(map[fabric.NodeID]bool, len(nw.Hosts))
 	for _, h := range nw.Hosts {
 		isHost[h.ID()] = true
-	}
-	parent := make(map[fabric.NodeID]fabric.NodeID)
-	var find func(x fabric.NodeID) fabric.NodeID
-	find = func(x fabric.NodeID) fabric.NodeID {
-		p, ok := parent[x]
-		if !ok || p == x {
-			parent[x] = x
-			return x
-		}
-		r := find(p)
-		parent[x] = r
-		return r
-	}
-	union := func(x, y fabric.NodeID) {
-		rx, ry := find(x), find(y)
-		if rx != ry {
-			if rx > ry { // keep the smallest ID as the root
-				rx, ry = ry, rx
-			}
-			parent[ry] = rx
-		}
 	}
 	allNodes := make([]fabric.NodeID, 0, len(nw.Hosts)+len(nw.Switches))
 	for _, h := range nw.Hosts {
@@ -166,43 +167,75 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 		allNodes = append(allNodes, sw.ID())
 	}
 	sort.Slice(allNodes, func(i, j int) bool { return allNodes[i] < allNodes[j] })
-	for _, id := range allNodes {
-		find(id)
-		for _, e := range b.adj[id] {
-			if isHost[id] || isHost[e.peer] {
-				union(id, e.peer)
+
+	// Union-find over nodes. With hostLinks, components merge across
+	// host-adjacent links — the coarse unit (a ToR plus its hosts).
+	// Without, they merge across switch-switch links only: every host
+	// stands alone and each switch complex stays whole.
+	clusterize := func(hostLinks bool) (hostful, bare []*cluster) {
+		parent := make(map[fabric.NodeID]fabric.NodeID)
+		var find func(x fabric.NodeID) fabric.NodeID
+		find = func(x fabric.NodeID) fabric.NodeID {
+			p, ok := parent[x]
+			if !ok || p == x {
+				parent[x] = x
+				return x
+			}
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		union := func(x, y fabric.NodeID) {
+			rx, ry := find(x), find(y)
+			if rx != ry {
+				if rx > ry { // keep the smallest ID as the root
+					rx, ry = ry, rx
+				}
+				parent[ry] = rx
 			}
 		}
+		for _, id := range allNodes {
+			find(id)
+			for _, e := range b.adj[id] {
+				if (isHost[id] || isHost[e.peer]) == hostLinks {
+					union(id, e.peer)
+				}
+			}
+		}
+		// Clusters in min-node-ID order, with host counts.
+		byRoot := make(map[fabric.NodeID]*cluster)
+		var clusters []*cluster
+		for _, id := range allNodes {
+			r := find(id)
+			c := byRoot[r]
+			if c == nil {
+				c = &cluster{root: r}
+				byRoot[r] = c
+				clusters = append(clusters, c)
+			}
+			c.nodes = append(c.nodes, id)
+			if isHost[id] {
+				c.hosts++
+			}
+		}
+		for _, c := range clusters {
+			if c.hosts > 0 {
+				hostful = append(hostful, c)
+			} else {
+				bare = append(bare, c)
+			}
+		}
+		return hostful, bare
 	}
 
-	// Clusters in min-node-ID order, with host counts.
-	type cluster struct {
-		root  fabric.NodeID
-		nodes []fabric.NodeID
-		hosts int
-	}
-	byRoot := make(map[fabric.NodeID]*cluster)
-	var clusters []*cluster
-	for _, id := range allNodes {
-		r := find(id)
-		c := byRoot[r]
-		if c == nil {
-			c = &cluster{root: r}
-			byRoot[r] = c
-			clusters = append(clusters, c)
-		}
-		c.nodes = append(c.nodes, id)
-		if isHost[id] {
-			c.hosts++
-		}
-	}
-	var hostful, bare []*cluster
-	for _, c := range clusters {
-		if c.hosts > 0 {
-			hostful = append(hostful, c)
-		} else {
-			bare = append(bare, c)
-		}
+	hostful, bare := clusterize(true)
+	if len(hostful) < k && len(nw.Hosts) > len(hostful) {
+		// Flat fabrics — a Star's single ToR, a Dumbbell's two sides —
+		// yield fewer host clusters than shards. Refine to per-host
+		// granularity: a shared-buffer switch can never split, but hosts
+		// couple only through wires, so any host partition is sound, and
+		// the lookahead (the host-switch link delay) stays positive.
+		hostful, bare = clusterize(false)
 	}
 	if len(hostful) < 2 {
 		return nil, fmt.Errorf("topology: fabric does not partition (%d host cluster(s))", len(hostful))
@@ -312,6 +345,12 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 		HostShard: make([]int, len(nw.Hosts)),
 		NodeShard: nodeShard,
 		Lookahead: lookahead,
+		pools:     pools,
+		ck:        make([][]sim.Checkpointable, k),
+		inBounds:  make([][]*boundary, k),
+	}
+	for i := range engines {
+		s.ck[i] = append(s.ck[i], engines[i], pools[i])
 	}
 	addBoundary := func(pt *fabric.Port, owner fabric.NodeID) {
 		peerShard := nodeShard[pt.Peer().ID()]
@@ -319,6 +358,7 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 			return
 		}
 		bd := &boundary{port: pt, eng: engines[peerShard], key: pt.WireKey()}
+		s.inBounds[peerShard] = append(s.inBounds[peerShard], bd)
 		bd.deliver = func() {
 			e := bd.pop()
 			if bd.rhead < len(bd.rwire) {
@@ -337,16 +377,20 @@ func Shard(nw *Network, k int, mkEngine func() *sim.Engine) (*Sharding, error) {
 		sh := nodeShard[h.ID()]
 		s.HostShard[i] = sh
 		h.Rebind(engines[sh], pools[sh])
+		s.ck[sh] = append(s.ck[sh], h)
 		for _, pt := range h.Ports() {
 			pt.Rebind(engines[sh])
+			s.ck[sh] = append(s.ck[sh], pt)
 			addBoundary(pt, h.ID())
 		}
 	}
 	for _, sw := range nw.Switches {
 		sh := nodeShard[sw.ID()]
 		sw.Rebind(engines[sh], pools[sh])
+		s.ck[sh] = append(s.ck[sh], sw)
 		for _, pt := range sw.Ports() {
 			pt.Rebind(engines[sh])
+			s.ck[sh] = append(s.ck[sh], pt)
 			addBoundary(pt, sw.ID())
 		}
 	}

@@ -193,19 +193,141 @@ func TestShardBarePlacementCutsBoundary(t *testing.T) {
 	}
 }
 
-// Star has a single host cluster: sharding must refuse and leave the
-// network runnable.
-func TestShardStarRefuses(t *testing.T) {
+// Star has a single host cluster at ToR granularity; sharding now
+// refines to per-host granularity (the switch stays whole, hosts
+// split), so a 5-host star must partition — and replay the serial run
+// byte-for-byte, incast and all.
+func TestShardStarPerHost(t *testing.T) {
+	const horizon = 40 * sim.Millisecond
+	starWorkload := func(nw *Network) {
+		n := len(nw.Hosts)
+		for i := 1; i < n; i++ {
+			nw.StartFlow(i, 0, 150_000, nil) // incast onto host 0
+		}
+		for i := 1; i < n; i++ {
+			nw.StartFlow(0, i, 80_000, nil)
+		}
+	}
+	run := func(shards int) []flowFate {
+		hcfg, scfg := shardCfg()
+		eng := sim.NewEngine()
+		nw := Star(eng, 5, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
+		if shards > 1 {
+			sh, err := Shard(nw, shards, sim.NewEngine)
+			if err != nil {
+				t.Fatalf("Shard(star, %d): %v", shards, err)
+			}
+			if len(sh.Engines) != shards {
+				t.Fatalf("star k=%d: %d engines", shards, len(sh.Engines))
+			}
+			if sh.Lookahead != sim.Microsecond {
+				t.Fatalf("lookahead = %v, want 1us", sh.Lookahead)
+			}
+			starWorkload(nw)
+			if err := sh.Group.RunUntil(horizon); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			starWorkload(nw)
+			eng.RunUntil(horizon)
+		}
+		return fates(t, nw)
+	}
+
+	base := run(1)
+	if !base[0].done {
+		t.Fatal("workload produced no completed flows — test is vacuous")
+	}
+	for _, k := range []int{2, 4} {
+		got := run(k)
+		if len(got) != len(base) {
+			t.Fatalf("%d shards: %d flows, want %d", k, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%d shards: flow %d diverged:\n  1 shard: %+v\n  %d shards: %+v",
+					k, base[i].id, base[i], k, got[i])
+			}
+		}
+	}
+}
+
+// A fabric with a single host cannot partition at any granularity:
+// sharding must refuse and leave the network runnable.
+func TestShardSingleHostRefuses(t *testing.T) {
 	hcfg, scfg := shardCfg()
 	eng := sim.NewEngine()
-	nw := Star(eng, 5, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
+	nw := Star(eng, 1, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
 	if _, err := Shard(nw, 2, sim.NewEngine); err == nil {
-		t.Fatal("Shard(star) succeeded, want error")
+		t.Fatal("Shard(1-host star) succeeded, want error")
 	}
 	done := false
-	nw.StartFlow(0, 1, 10_000, func(*host.Flow) { done = true })
+	nw.StartFlow(0, 0, 0, func(*host.Flow) { done = true })
 	eng.Run()
 	if !done {
 		t.Fatal("network unusable after refused Shard")
+	}
+}
+
+// Speculative barriers on a real fabric must replay the serial run
+// byte-for-byte — whether the bets commit (dumbbell with its 2us
+// cross-shard lookahead) or roll back — and must actually speculate.
+func TestShardSpeculationEquivalence(t *testing.T) {
+	const horizon = 40 * sim.Millisecond
+	run := func(shards, window int) ([]flowFate, sim.SyncStats) {
+		hcfg, scfg := shardCfg()
+		eng := sim.NewEngine()
+		nw := Dumbbell(eng, 6, 100*sim.Gbps, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
+		if shards == 1 {
+			dumbbellWorkload(nw)
+			eng.RunUntil(horizon)
+			return fates(t, nw), sim.SyncStats{}
+		}
+		sh, err := Shard(nw, shards, sim.NewEngine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if window > 0 {
+			if err := sh.EnableSpeculation(window); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dumbbellWorkload(nw)
+		if err := sh.Group.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		return fates(t, nw), sh.Group.Stats
+	}
+
+	base, _ := run(1, 0)
+	for _, k := range []int{2, 3} {
+		got, st := run(k, 8)
+		if st.SpecEpochs == 0 {
+			t.Fatalf("%d shards: no speculative epochs attempted", k)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%d shards speculative: flow %d diverged:\n  serial: %+v\n  spec:   %+v",
+					k, base[i].id, base[i], got[i])
+			}
+		}
+	}
+}
+
+// EnableSpeculation must refuse a fabric whose switches flip RNG coins
+// in the forwarding path (WRED/ECN marking).
+func TestShardSpeculationRefusesECN(t *testing.T) {
+	hcfg, scfg := shardCfg()
+	scfg.ECNEnabled = true
+	nw := Dumbbell(sim.NewEngine(), 6, 100*sim.Gbps, 100*sim.Gbps, sim.Microsecond, hcfg, scfg)
+	sh, err := Shard(nw, 2, sim.NewEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.EnableSpeculation(0); err == nil {
+		t.Fatal("EnableSpeculation succeeded on an ECN fabric, want error")
+	}
+	if sh.Group.Speculate {
+		t.Fatal("refused EnableSpeculation still set Group.Speculate")
 	}
 }

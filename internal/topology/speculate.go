@@ -1,0 +1,178 @@
+package topology
+
+import (
+	"fmt"
+
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// This file implements sim.Speculator for a Sharding, turning the
+// conservative lookahead barriers into optimistic ones: each shard's
+// whole world — engine, hosts, switches, ports, packet pool, inbound
+// boundary wires, plus anything the runner Attaches (per-shard FCT
+// sets, queue monitors) — checkpoints at a speculative barrier and
+// restores in place on rollback. Staging reuses the exchange's
+// boundary outboxes: a speculative barrier moves them to a side buffer
+// instead of delivering, so the group can inspect the earliest
+// would-be arrival before committing.
+
+// xwireSnap is one in-flight boundary packet at checkpoint time: the
+// packet's identity plus a full value copy, written back through the
+// pointer on rollback (same discipline as the fabric layer — packet
+// structs are pooled, so the struct may have been reused by the
+// rolled-back run).
+type xwireSnap struct {
+	p   *packet.Packet
+	val packet.Packet
+	at  sim.Time
+}
+
+// save checkpoints the boundary's receiver-side wire and sender-side
+// outbox. The outbox is usually empty at a speculative barrier (every
+// barrier drains it) — except before the very first epoch, when
+// traffic started directly on the hosts has already transmitted into
+// it; those packets predate the checkpoint and must survive rollback.
+func (bd *boundary) save() {
+	bd.sbuf = bd.sbuf[:0]
+	for _, e := range bd.buf {
+		bd.sbuf = append(bd.sbuf, xwireSnap{e.p, *e.p, e.at})
+	}
+	bd.swire = bd.swire[:0]
+	for _, e := range bd.rwire[bd.rhead:] {
+		bd.swire = append(bd.swire, xwireSnap{e.p, *e.p, e.at})
+	}
+	bd.sarmed = bd.armed
+}
+
+// restore rebuilds the outbox and receiver-side wire from the
+// checkpoint. The delivery event itself is engine state and is
+// restored there; armed/sarmed stay consistent because both snapshots
+// share a barrier. The outbox was drained into staging before the
+// rollback, so pre-checkpoint packets are re-owned here and the later
+// Discard drops only the staging references, not the structs.
+func (bd *boundary) restore() {
+	for i := range bd.buf {
+		bd.buf[i].p = nil
+	}
+	bd.buf = bd.buf[:0]
+	for i := range bd.sbuf {
+		ws := &bd.sbuf[i]
+		*ws.p = ws.val
+		bd.buf = append(bd.buf, xpkt{ws.p, ws.at})
+	}
+	for i := range bd.rwire {
+		bd.rwire[i].p = nil
+	}
+	bd.rwire, bd.rhead = bd.rwire[:0], 0
+	for i := range bd.swire {
+		ws := &bd.swire[i]
+		*ws.p = ws.val
+		bd.rwire = append(bd.rwire, xpkt{ws.p, ws.at})
+	}
+	bd.armed = bd.sarmed
+}
+
+// Save implements sim.Speculator: checkpoint shard i's world state.
+// Called concurrently, one shard per worker goroutine; every structure
+// touched here is owned by shard i (inbound boundary wires are
+// receiver-side state).
+func (s *Sharding) Save(shard int) {
+	for _, c := range s.ck[shard] {
+		c.Checkpoint()
+	}
+	for _, bd := range s.inBounds[shard] {
+		bd.save()
+	}
+}
+
+// Restore implements sim.Speculator: roll shard i back to its last
+// checkpoint.
+func (s *Sharding) Restore(shard int) {
+	for _, c := range s.ck[shard] {
+		c.Rollback()
+	}
+	for _, bd := range s.inBounds[shard] {
+		bd.restore()
+	}
+}
+
+// Stage implements sim.Speculator: drain every boundary outbox into
+// its staging buffer without delivering, reporting the earliest staged
+// arrival. Runs single-threaded at the barrier.
+func (s *Sharding) Stage() (earliest sim.Time, any bool) {
+	for _, bd := range s.outs {
+		if len(bd.buf) == 0 {
+			continue
+		}
+		for _, e := range bd.buf {
+			if !any || e.at < earliest {
+				earliest, any = e.at, true
+			}
+		}
+		bd.staged = append(bd.staged, bd.buf...)
+		for i := range bd.buf {
+			bd.buf[i].p = nil
+		}
+		bd.buf = bd.buf[:0]
+	}
+	return earliest, any
+}
+
+// Commit implements sim.Speculator: deliver the staged packets onto
+// the receiver-side wires, in the same boundary-creation order (and
+// with the same arming rule) as the conservative exchange.
+func (s *Sharding) Commit() {
+	for _, bd := range s.outs {
+		if len(bd.staged) == 0 {
+			continue
+		}
+		bd.rwire = append(bd.rwire, bd.staged...)
+		for i := range bd.staged {
+			bd.staged[i].p = nil
+		}
+		bd.staged = bd.staged[:0]
+		if !bd.armed {
+			bd.armed = true
+			bd.eng.AtKey(bd.rwire[bd.rhead].at, bd.key, bd.deliver)
+		}
+	}
+}
+
+// Discard implements sim.Speculator: drop the staged packets after a
+// rollback. The packet structs are NOT returned to any pool — each was
+// drawn from its sender shard's pool during the rolled-back run, and
+// that pool's restored freelist already reclaims it; re-pooling here
+// would alias the struct to two owners.
+func (s *Sharding) Discard() {
+	for _, bd := range s.outs {
+		for i := range bd.staged {
+			bd.staged[i].p = nil
+		}
+		bd.staged = bd.staged[:0]
+	}
+}
+
+// Attach registers extra checkpointable state (per-shard FCT sets,
+// queue monitors) with a shard, so speculation rolls it back alongside
+// the world. Must be called before the group runs.
+func (s *Sharding) Attach(shard int, c sim.Checkpointable) {
+	s.ck[shard] = append(s.ck[shard], c)
+}
+
+// EnableSpeculation turns on optimistic barriers with the given window
+// (0 means the sim-layer default). It refuses fabrics whose switches
+// consult a random source in the forwarding path (WRED/ECN marking):
+// an RNG mid-stream cannot be checkpointed, so a rolled-back run would
+// replay with different coin flips and diverge from the serial run.
+func (s *Sharding) EnableSpeculation(window int) error {
+	for _, sw := range s.Net.Switches {
+		if sw.UsesRNG() {
+			return fmt.Errorf("topology: switch %d marks ECN with an RNG; speculation would not replay identically", sw.ID())
+		}
+	}
+	s.Group.Speculate = true
+	s.Group.Window = window
+	s.Group.Spec = s
+	return nil
+}
