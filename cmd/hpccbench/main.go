@@ -57,6 +57,12 @@ type ScenarioResult struct {
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
 	BytesPerPacket  float64 `json:"bytes_per_packet"`
 	Flows           int     `json:"flows"`
+	// RetainedStatBytes is the run's logical statistics retention
+	// (LoadResult.RetainedStatBytes): per-flow records plus queue
+	// samples in exact mode, sketch bucket arrays in streaming mode.
+	// Deterministic, so it gates like allocs/packet: the stream-flows
+	// family must stay flat as the flow count grows.
+	RetainedStatBytes int64 `json:"retained_stat_bytes,omitempty"`
 
 	// Shard-synchronization accounting (sharded scenarios only).
 	// Epochs counts conservative epochs, including post-rollback
@@ -104,6 +110,7 @@ type outcome struct {
 	simTime    sim.Time
 	speculated bool
 	sync       sim.SyncStats
+	retained   int64
 }
 
 func main() {
@@ -154,6 +161,15 @@ func main() {
 	}
 	add("incast-16-1", func() outcome { return incast16(*quick) })
 	add("parkinglot-4seg", func() outcome { return parkingLot(*quick) })
+	// The streaming-statistics memory family: same scenario at 4× the
+	// flow count. In sketch mode RetainedStatBytes must stay flat —
+	// gateRetained below fails the run if it grows with the flows.
+	small, big := 250_000, 1_000_000
+	if *quick {
+		small, big = 25_000, 100_000
+	}
+	add(fmt.Sprintf("stream-flows-%dk", small/1000), func() outcome { return streamFlows(small) })
+	add(fmt.Sprintf("stream-flows-%dk", big/1000), func() outcome { return streamFlows(big) })
 	if *paper {
 		add("paper-fattree-websearch", func() outcome { return paperFatTree(false, 1, false) })
 		add("paper-fattree-websearch-calendar", func() outcome { return paperFatTree(true, 1, false) })
@@ -169,11 +185,11 @@ func main() {
 
 	run.Speedups = speedups(run.Scenarios)
 
-	fmt.Printf("%-34s %10s %12s %12s %14s %14s %10s\n",
-		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt")
+	fmt.Printf("%-34s %10s %12s %12s %14s %14s %10s %10s\n",
+		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt", "ret-bytes")
 	for _, s := range run.Scenarios {
-		fmt.Printf("%-34s %10.1f %12d %12.0f %14d %14.0f %10.3f\n",
-			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket)
+		fmt.Printf("%-34s %10.1f %12d %12.0f %14d %14.0f %10.3f %10d\n",
+			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket, s.RetainedStatBytes)
 	}
 	for _, sp := range run.Speedups {
 		fmt.Printf("speedup %-26s %10.2fx vs %s (%d shards, GOMAXPROCS %d)\n",
@@ -190,12 +206,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := gateRetained(run.Scenarios); err != nil {
+		fmt.Fprintln(os.Stderr, "hpccbench:", err)
+		os.Exit(1)
+	}
 	if *baseline != "" {
 		if err := gateAllocs(run, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "hpccbench:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// gateRetained is the streaming-statistics memory gate: across the
+// stream-flows family the retained-statistics footprint must not grow
+// with the flow count. Sketch bucket occupancy still fills in a little
+// between runs, so the gate allows 1.25× over the family minimum —
+// exact retention at 4× the flows would blow through that by orders of
+// magnitude. Needs no baseline file: the family self-compares.
+func gateRetained(rows []ScenarioResult) error {
+	var min, max int64
+	var minName, maxName string
+	for _, s := range rows {
+		if !strings.HasPrefix(s.Name, "stream-flows-") {
+			continue
+		}
+		if minName == "" || s.RetainedStatBytes < min {
+			min, minName = s.RetainedStatBytes, s.Name
+		}
+		if maxName == "" || s.RetainedStatBytes > max {
+			max, maxName = s.RetainedStatBytes, s.Name
+		}
+	}
+	if minName == "" {
+		return nil
+	}
+	if limit := min + min/4; max > limit {
+		return fmt.Errorf("retained-stat-bytes regression: %s retained %d B > limit %d B (1.25x %s's %d B); streaming stats are no longer flat in the flow count",
+			maxName, max, limit, minName, min)
+	}
+	fmt.Printf("retained-stat-bytes gate (stream-flows family): ok (%d..%d B)\n", min, max)
+	return nil
 }
 
 // speedups pairs each "<base>-shardsN" row with its "<base>" row and
@@ -286,21 +337,22 @@ func measure(name string, fn func() outcome) ScenarioResult {
 	allocs := m1.Mallocs - m0.Mallocs
 	bytes := m1.TotalAlloc - m0.TotalAlloc
 	r := ScenarioResult{
-		Name:          name,
-		Shards:        oc.shards,
-		WallMS:        float64(wall.Nanoseconds()) / 1e6,
-		SimulatedMS:   oc.simTime.Seconds() * 1e3,
-		Events:        meter.Events(),
-		DataPackets:   oc.dataPkts,
-		PortPackets:   oc.portPkts,
-		Allocs:        allocs,
-		Flows:         oc.flows,
-		Speculated:    oc.speculated,
-		Epochs:        oc.sync.Epochs,
-		SpecEpochs:    oc.sync.SpecEpochs,
-		SpecCommits:   oc.sync.SpecCommits,
-		SpecRollbacks: oc.sync.SpecRollbacks,
-		SyncOverhead:  oc.sync.SyncOverhead(),
+		Name:              name,
+		Shards:            oc.shards,
+		WallMS:            float64(wall.Nanoseconds()) / 1e6,
+		SimulatedMS:       oc.simTime.Seconds() * 1e3,
+		Events:            meter.Events(),
+		DataPackets:       oc.dataPkts,
+		PortPackets:       oc.portPkts,
+		Allocs:            allocs,
+		Flows:             oc.flows,
+		Speculated:        oc.speculated,
+		RetainedStatBytes: oc.retained,
+		Epochs:            oc.sync.Epochs,
+		SpecEpochs:        oc.sync.SpecEpochs,
+		SpecCommits:       oc.sync.SpecCommits,
+		SpecRollbacks:     oc.sync.SpecRollbacks,
+		SyncOverhead:      oc.sync.SyncOverhead(),
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		r.EventsPerSec = float64(r.Events) / secs
@@ -372,7 +424,28 @@ func runScenario(s experiment.LoadScenario) outcome {
 		os.Exit(1)
 	}
 	return outcome{dataPkts: r.DataPackets, portPkts: r.PortPackets, flows: r.Started,
-		shards: r.Shards, simTime: r.Elapsed, speculated: r.Speculated, sync: r.Sync}
+		shards: r.Shards, simTime: r.Elapsed, speculated: r.Speculated, sync: r.Sync,
+		retained: r.RetainedStatBytes}
+}
+
+// streamFlows floods a 4-host star with fixed-1KB Poisson flows at 50%
+// load in streaming-statistics mode. The scenario exists for its
+// RetainedStatBytes number: one flow is one packet, so a million flows
+// is cheap to simulate, and the sketch footprint must not move between
+// the family's flow counts.
+func streamFlows(flows int) outcome {
+	fixed1KB := workload.MustCDF("fixed-1KB", []workload.Point{{Bytes: 1000, Prob: 0}, {Bytes: 1000, Prob: 1}})
+	return runScenario(experiment.LoadScenario{
+		Scheme:      mustScheme("hpcc"),
+		Topo:        experiment.StarTopo(4),
+		Traffic:     []workload.Generator{workload.PoissonSpec{CDF: fixed1KB, Load: 0.5}},
+		MaxFlows:    flows,
+		Until:       sim.Second, // MaxFlows is the real cutoff
+		Drain:       20 * sim.Millisecond,
+		PFC:         true,
+		Seed:        1,
+		SketchStats: true,
+	})
 }
 
 // incast16 runs repeated 16-to-1 fan-in rounds of 100 KB per sender on

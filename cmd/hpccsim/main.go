@@ -34,6 +34,8 @@ func main() {
 		shards   = flag.Int("shards", 1, "partition the fabric across this many engines (multi-core; byte-identical results)")
 		spec     = flag.Bool("spec", true, "speculative shard synchronization (checkpoint + rollback instead of a barrier every epoch; byte-identical results)")
 		specWin  = flag.Int("spec-window", 0, "speculation window in lookahead epochs (0 = default 8)")
+		sketch   = flag.Bool("sketch", false, "streaming statistics: constant-memory DDSketch quantiles instead of exact per-flow retention")
+		accuracy = flag.Float64("stats-accuracy", 0, "sketch relative accuracy with -sketch (0 = default 0.01)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		asJSON   = flag.Bool("json", false, "emit the result as one JSON document")
 	)
@@ -54,6 +56,8 @@ func main() {
 		Shards:            *shards,
 		Speculate:         spec,
 		SpeculationWindow: *specWin,
+		SketchStats:       *sketch,
+		StatsAccuracy:     *accuracy,
 		Seed:              *seed,
 	})
 	if err != nil {
@@ -93,11 +97,16 @@ func main() {
 
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("flows         %d completed, %d censored\n", res.Flows, res.Censored)
-	fmt.Printf("slowdown      p50 %.2f   p95 %.2f   p99 %.2f\n", res.SlowdownP50, res.SlowdownP95, res.SlowdownP99)
+	fmt.Printf("slowdown      p50 %.2f   p95 %.2f   p99 %.2f   p99.9 %.2f\n", res.SlowdownP50, res.SlowdownP95, res.SlowdownP99, res.SlowdownP999)
 	fmt.Printf("short (<=7K)  p99 %.2f\n", res.ShortFlowP99Slowdown)
 	fmt.Printf("queue         p50 %.1f KB   p99 %.1f KB   max %.1f KB\n", res.QueueP50KB, res.QueueP99KB, res.QueueMaxKB)
 	fmt.Printf("pfc pause     %.3f%% of port-time\n", res.PFCPauseFraction*100)
 	fmt.Printf("drops         %d\n", res.Drops)
+	mode := "exact"
+	if *sketch {
+		mode = "sketch"
+	}
+	fmt.Printf("stat memory   %d B retained (%s mode)\n", res.RetainedStatBytes, mode)
 	fmt.Println("\np95 slowdown by flow size:")
 	for _, b := range res.BucketP95 {
 		if b.N == 0 {

@@ -101,6 +101,19 @@ type Experiment struct {
 	// flows, folding older ones into aggregate counters. Results are
 	// unchanged; only post-run per-flow inspection is truncated.
 	CompletedFlowWindow int
+	// SketchStats switches result statistics to streaming mode: instead
+	// of retaining every FCT record and queue sample, observations
+	// stream into mergeable DDSketch-style quantile sketches
+	// (per-size-bucket slowdowns, the short-flow class, per-port queue
+	// depth), so retained stat memory is O(sketch buckets) — a few KB —
+	// regardless of flow count or horizon. Every reported percentile is
+	// within StatsAccuracy of the exact one. The default (false)
+	// retains everything and reproduces historical results
+	// byte-for-byte.
+	SketchStats bool
+	// StatsAccuracy is the sketches' relative accuracy when SketchStats
+	// is set (default 0.01: quantiles within 1% of exact percentiles).
+	StatsAccuracy float64
 	// QueueSampleCap, when positive, bounds the retained queue-sample
 	// instants over long horizons: the monitor thins samples with an
 	// adaptive stride (keeping every 2^k-th sampling tick, doubling k
@@ -157,13 +170,21 @@ func (e Experiment) scenario() (experiment.LoadScenario, []int64, error) {
 		SpecWindow:      e.SpeculationWindow,
 		CompletedWindow: e.CompletedFlowWindow,
 		QueueSampleCap:  e.QueueSampleCap,
+		SketchStats:     e.SketchStats,
+		StatsAccuracy:   e.StatsAccuracy,
+	}
+	edges := e.edges()
+	if e.SketchStats {
+		// Streaming FCT sketches are keyed by their bucket edges up
+		// front; pin them to the edges the result will be bucketed by.
+		sc.FCTBucketEdges = edges
 	}
 	for _, o := range e.Observers {
 		if o != nil {
-			o.attach(&sc.Obs)
+			o.attach(&sc)
 		}
 	}
-	return sc, e.edges(), nil
+	return sc, edges, nil
 }
 
 // edges resolves the bucket edges for result statistics.
@@ -231,22 +252,22 @@ func (e Experiment) Start() (*Network, error) {
 // qualifying flows reports 0 (with the explicit counts saying why),
 // never NaN — so results always survive encoding/json.
 func summarize(r *experiment.LoadResult, edges []int64) *SimResult {
-	sl := r.FCT.Slowdowns()
-	shortSl, shortN := shortSlowdowns(&r.FCT, 7_000)
 	out := &SimResult{
 		Scheme:               r.Scheme,
-		Flows:                len(r.FCT.Records),
+		Flows:                r.FCT.Count(),
 		Censored:             r.Censored,
-		SlowdownP50:          percentileOrZero(sl, 50),
-		SlowdownP95:          percentileOrZero(sl, 95),
-		SlowdownP99:          percentileOrZero(sl, 99),
-		ShortFlowP99Slowdown: percentileOrZero(shortSl, 99),
-		ShortFlows:           shortN,
+		SlowdownP50:          r.FCT.SlowdownQuantile(50),
+		SlowdownP95:          r.FCT.SlowdownQuantile(95),
+		SlowdownP99:          r.FCT.SlowdownQuantile(99),
+		SlowdownP999:         r.FCT.SlowdownQuantile(99.9),
+		ShortFlowP99Slowdown: r.FCT.ShortSlowdownQuantile(99),
+		ShortFlows:           r.FCT.ShortCount(),
 		QueueP50KB:           r.Queue.P50 / 1024,
 		QueueP99KB:           r.Queue.P99 / 1024,
 		QueueMaxKB:           r.Queue.Max / 1024,
 		PFCPauseFraction:     r.PauseFrac,
 		Drops:                r.Drops,
+		RetainedStatBytes:    r.RetainedStatBytes,
 		ShardsUsed:           r.Shards,
 		Speculated:           r.Speculated,
 		Epochs:               r.Sync.Epochs,

@@ -45,13 +45,19 @@ type FlowEvent struct {
 }
 
 // Obs carries the optional observer callbacks a scenario attaches to a
-// run: per-flow FCT records, periodic queue samples, and PFC pause
-// transitions. The public API's Observer values, cmd/hpccbench and
+// run: per-flow FCT records, periodic queue samples, PFC pause
+// transitions, and — in sketch-stats mode — closed interval windows of
+// queue statistics. The public API's Observer values, cmd/hpccbench and
 // Network.TraceQueues all ride these hooks.
 type Obs struct {
 	OnFlow  func(FlowEvent)
 	OnQueue func(stats.TimePoint)
 	OnPFC   func(stats.PFCEvent)
+	// OnQueueFlush receives one summary per closed queue window
+	// (LoadScenario.FlushEvery ticks each). Window summaries come from
+	// an interval sketch in either retention mode, so attaching a flush
+	// consumer never changes the run's result statistics.
+	OnQueueFlush func(stats.QueueFlush)
 }
 
 // LoadScenario is the common "composable traffic on a topology"
@@ -119,6 +125,28 @@ type LoadScenario struct {
 	// the oldest into aggregate counters.
 	CompletedWindow int
 
+	// SketchStats switches result statistics to streaming mode: FCT
+	// records and queue samples are not retained; every observation
+	// streams into mergeable quantile sketches instead (per-size-bucket
+	// slowdowns, short-flow latency, per-port queue depth), so retained
+	// stat memory is O(sketch buckets) regardless of flow count or
+	// horizon. Quantiles come out within StatsAccuracy of the exact
+	// percentiles; LoadResult.QueueKB and FCT.Records stay empty. The
+	// default (false) retains everything, exactly as before — goldens
+	// are byte-identical.
+	SketchStats bool
+	// StatsAccuracy is the sketches' relative accuracy (<= 0 means the
+	// 1% default, stats.DefaultRelativeAccuracy).
+	StatsAccuracy float64
+	// FCTBucketEdges are the flow-size bucket edges the streaming FCT
+	// sketches are keyed by (nil means stats.WebSearchEdges). Streaming
+	// results can only be bucketed by these edges.
+	FCTBucketEdges []int64
+	// FlushEvery, with SketchStats and Obs.OnQueueFlush, closes a queue
+	// window every FlushEvery sampling ticks and reports its summary —
+	// the live-progress feed of the streaming observer.
+	FlushEvery int
+
 	// Obs streams per-flow, queue and PFC events to observers.
 	Obs Obs
 }
@@ -143,6 +171,9 @@ func (s *LoadScenario) normalize() {
 	}
 	if s.MaxFlows == 0 {
 		s.MaxFlows = 1000
+	}
+	if s.FlushEvery == 0 {
+		s.FlushEvery = 100 // one window per ms at the default 10 µs tick
 	}
 }
 
@@ -188,11 +219,22 @@ type LoadResult struct {
 	// harness (cmd/hpccbench).
 	DataPackets uint64
 	PortPackets uint64
+
+	// RetainedStatBytes is the run's logical retained-statistics
+	// footprint: FCT retention plus pooled queue samples (sketch buckets
+	// in streaming mode). Deterministic and identical across shard
+	// counts — the memory-regression gate compares it between runs.
+	RetainedStatBytes int64
 }
 
 // ShortFlowP95Latency returns the 95th-percentile FCT (µs) of flows no
 // larger than limit bytes — the "95pct-latency" bars of Figures 2b/11.
+// Streaming runs track the fixed stats.ShortFlowLimit class, whatever
+// limit is passed.
 func (r *LoadResult) ShortFlowP95Latency(limit int64) float64 {
+	if r.FCT.Streaming() {
+		return r.FCT.ShortLatencyQuantile(95)
+	}
 	var lat []float64
 	for _, rec := range r.FCT.Records {
 		if rec.Size <= limit {
@@ -313,19 +355,34 @@ func RunLoad(s LoadScenario) (*LoadResult, error) {
 	nw := s.build(eng)
 
 	res := &LoadResult{Scheme: s.Scheme.Name, Shards: 1}
+	if s.SketchStats {
+		res.FCT = stats.NewStreamingFCT(s.FCTBucketEdges, s.StatsAccuracy)
+	}
 	s.installTraffic(eng, nw, &res.FCT)
 	mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
 	mon.OnSample = s.Obs.OnQueue
 	mon.SampleCap = s.QueueSampleCap
+	if s.SketchStats {
+		mon.EnableSketch(s.StatsAccuracy)
+	}
+	if s.Obs.OnQueueFlush != nil {
+		mon.FlushEvery = s.FlushEvery
+		mon.OnFlush = s.Obs.OnQueueFlush
+	}
 
 	eng.RunUntil(s.Until + s.Drain)
 	mon.Stop()
 
-	res.Queue = stats.Summarize(mon.Samples)
-	res.QueueKB = make([]float64, len(mon.Samples))
-	for i, v := range mon.Samples {
-		res.QueueKB[i] = v / 1024
+	if s.SketchStats {
+		res.Queue = mon.Summary()
+	} else {
+		res.Queue = stats.Summarize(mon.Samples)
+		res.QueueKB = make([]float64, len(mon.Samples))
+		for i, v := range mon.Samples {
+			res.QueueKB[i] = v / 1024
+		}
 	}
+	res.RetainedStatBytes = res.FCT.RetainedBytes() + mon.RetainedBytes()
 	collectFabric(res, nw, s.Until+s.Drain)
 	res.Elapsed = eng.Now()
 	return res, nil
@@ -387,10 +444,17 @@ func StartManual(eng *sim.Engine, s LoadScenario) *ManualNet {
 	s.normalize()
 	nw := s.build(eng)
 	s.installTraffic(eng, nw, nil)
-	if s.Obs.OnQueue != nil {
+	if s.Obs.OnQueue != nil || s.Obs.OnQueueFlush != nil {
 		mon := stats.NewQueueMonitor(eng, nw.EdgePorts(), fabric.PrioData, s.QueueSample, s.Until)
 		mon.OnSample = s.Obs.OnQueue
 		mon.SampleCap = s.QueueSampleCap
+		if s.SketchStats {
+			mon.EnableSketch(s.StatsAccuracy)
+		}
+		if s.Obs.OnQueueFlush != nil {
+			mon.FlushEvery = s.FlushEvery
+			mon.OnFlush = s.Obs.OnQueueFlush
+		}
 	}
 	return &ManualNet{Network: nw, Obs: s.Obs, Until: s.Until}
 }

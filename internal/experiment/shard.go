@@ -30,7 +30,7 @@ import (
 // falling back after half a run executed would silently double-count
 // fabric state.
 func runLoadSharded(s LoadScenario) (*LoadResult, bool, error) {
-	if s.Obs.OnFlow != nil || s.Obs.OnQueue != nil || s.Obs.OnPFC != nil {
+	if s.Obs.OnFlow != nil || s.Obs.OnQueue != nil || s.Obs.OnPFC != nil || s.Obs.OnQueueFlush != nil {
 		return nil, false, nil
 	}
 	for _, g := range s.Traffic {
@@ -60,11 +60,18 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool, error) {
 	k := len(sh.Engines)
 
 	// Per-shard FCT collection: completion callbacks run on the owning
-	// shard's goroutine, so each shard appends to its own set; the sets
-	// are concatenated in shard order afterwards. Every consumer of the
-	// record list (percentiles, buckets) is order-independent, so the
-	// merged aggregate equals the single-engine one.
+	// shard's goroutine, so each shard feeds its own set; the sets merge
+	// in shard order afterwards. In exact mode merge concatenates
+	// records and every consumer of the record list (percentiles,
+	// buckets) is order-independent; in sketch mode merge adds bucket
+	// counts, which is exact and order-invariant — either way the merged
+	// aggregate equals the single-engine one.
 	fcts := make([]stats.FCTSet, k)
+	if s.SketchStats {
+		for i := range fcts {
+			fcts[i] = stats.NewStreamingFCT(s.FCTBucketEdges, s.StatsAccuracy)
+		}
+	}
 	dones := make([]func(*host.Flow), k)
 	for i := range dones {
 		set := &fcts[i]
@@ -108,6 +115,9 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool, error) {
 		}
 		mons[i] = stats.NewQueueMonitor(sh.Engines[i], ports, fabric.PrioData, s.QueueSample, s.Until)
 		mons[i].SampleCap = s.QueueSampleCap
+		if s.SketchStats {
+			mons[i].EnableSketch(s.StatsAccuracy)
+		}
 	}
 
 	// Optimistic barriers: best-effort, like sharding itself. The CC
@@ -135,19 +145,37 @@ func runLoadSharded(s LoadScenario) (*LoadResult, bool, error) {
 	}
 
 	res := &LoadResult{Scheme: s.Scheme.Name, Shards: k, Speculated: speculated, Sync: sh.Group.Stats}
-	var samples []float64
 	for _, m := range mons {
 		m.Stop()
-		samples = append(samples, m.Samples...)
 	}
-	res.Queue = stats.Summarize(samples)
-	res.QueueKB = make([]float64, len(samples))
-	for i, v := range samples {
-		res.QueueKB[i] = v / 1024
+	var queueBytes int64
+	if s.SketchStats {
+		// Sketch merges are exact bucket-count addition, so the merged
+		// queue sketch equals the whole-fabric monitor's.
+		for i := 1; i < k; i++ {
+			mons[0].MergeSketch(mons[i])
+		}
+		res.Queue = mons[0].Summary()
+		queueBytes = mons[0].RetainedBytes()
+	} else {
+		var samples []float64
+		for _, m := range mons {
+			samples = append(samples, m.Samples...)
+		}
+		res.Queue = stats.Summarize(samples)
+		res.QueueKB = make([]float64, len(samples))
+		for i, v := range samples {
+			res.QueueKB[i] = v / 1024
+		}
+		queueBytes = int64(len(samples)) * 8
+	}
+	if s.SketchStats {
+		res.FCT = stats.NewStreamingFCT(s.FCTBucketEdges, s.StatsAccuracy)
 	}
 	for i := range fcts {
-		res.FCT.Records = append(res.FCT.Records, fcts[i].Records...)
+		res.FCT.Merge(&fcts[i])
 	}
+	res.RetainedStatBytes = res.FCT.RetainedBytes() + queueBytes
 	collectFabric(res, nw, s.Until+s.Drain)
 	res.Elapsed = sh.Engines[0].Now()
 	return res, true, nil

@@ -85,6 +85,7 @@ func (r *SweepResult) Tables() []*Table {
 				f1(lr.Queue.P99/1024),
 				f2(lr.PauseFrac*100),
 				fmt.Sprintf("%d", lr.Censored))
+			t.AddDist(fmt.Sprintf("slowdown %s @%.0f%%", s, load*100), lr.FCT.SlowdownSketch(0))
 		}
 	}
 	t.AddNote("same FB_Hadoop + FatTree fixture as Figure 11, swept past the paper's 50%% operating point")
@@ -154,6 +155,7 @@ func (r *ParkingLotResult) Tables() []*Table {
 			f1(lr.Queue.P99/1024),
 			fmt.Sprintf("%d", lr.Drops),
 			fmt.Sprintf("%d", lr.Censored))
+		sum.AddDist("slowdown "+s, lr.FCT.SlowdownSketch(0))
 	}
 	return []*Table{fct, sum}
 }

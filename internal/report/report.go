@@ -70,6 +70,21 @@ type (
 		Cols  []string   `json:"cols"`
 		Rows  [][]string `json:"rows"`
 		Notes []string   `json:"notes,omitempty"`
+		Dists []DistDoc  `json:"dists,omitempty"`
+	}
+	// DistDoc summarizes one distribution sketch attached to a table —
+	// in multi-seed campaigns, pooled across all seeds (percentiles of
+	// the combined population, unlike the mean±CI cells which average
+	// per-run percentiles).
+	DistDoc struct {
+		Name string  `json:"name"`
+		N    uint64  `json:"n"`
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
 	}
 )
 
@@ -101,7 +116,24 @@ func WriteJSON(w io.Writer, res *campaign.Result, labels map[string]string) erro
 			jd.Error = job.Err.Error()
 		}
 		for _, t := range job.Tables {
-			jd.Tables = append(jd.Tables, TableDoc{Title: t.Title, Cols: t.Cols, Rows: t.Rows, Notes: t.Notes})
+			td := TableDoc{Title: t.Title, Cols: t.Cols, Rows: t.Rows, Notes: t.Notes}
+			for _, d := range t.Dists {
+				sk := d.Sketch
+				if sk == nil || sk.Count() == 0 {
+					continue // empty sketches have NaN quantiles, which JSON cannot carry
+				}
+				td.Dists = append(td.Dists, DistDoc{
+					Name: d.Name,
+					N:    sk.Count(),
+					Mean: sk.Mean(),
+					P50:  sk.Quantile(50),
+					P95:  sk.Quantile(95),
+					P99:  sk.Quantile(99),
+					P999: sk.Quantile(99.9),
+					Max:  sk.Max(),
+				})
+			}
+			jd.Tables = append(jd.Tables, td)
 		}
 		doc.Jobs = append(doc.Jobs, jd)
 	}

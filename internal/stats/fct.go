@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"sort"
+
 	"hpcc/internal/packet"
 	"hpcc/internal/sim"
 )
@@ -41,27 +43,252 @@ func IdealFCT(size int64, rate sim.Rate, baseRTT sim.Time, mtu int, intHeader bo
 	return rate.TxTime(int(wire)) + baseRTT
 }
 
-// FCTSet accumulates completed flows.
+// ShortFlowLimit is the flow-size ceiling (bytes) of the
+// latency-sensitive class the paper highlights ("short" flows, ≤ 7 KB).
+const ShortFlowLimit = 7_000
+
+// FCTSet accumulates completed flows in one of two modes.
+//
+// Exact mode (the zero value, and the historical behavior) retains
+// every FCTRecord: percentiles are exact, memory is linear in flow
+// count, and goldens stay byte-identical.
+//
+// Streaming mode (NewStreamingFCT) retains no records: each completion
+// streams into mergeable quantile sketches — one over all slowdowns,
+// one per flow-size bucket, one for the short-flow class (slowdown and
+// FCT) — so memory is O(buckets) however many flows complete, every
+// quantile is within the sketch's relative accuracy of the exact
+// percentile, and per-shard sets merge exactly.
 type FCTSet struct {
 	Records []FCTRecord
 
-	mark int // Checkpoint high-water mark
+	mark int // exact-mode Checkpoint high-water mark
+
+	str *fctStream // non-nil => streaming mode
 }
 
-// Add appends one record.
-func (s *FCTSet) Add(r FCTRecord) { s.Records = append(s.Records, r) }
+// fctStream is the streaming mode's state: sketches instead of records.
+type fctStream struct {
+	edges   []int64
+	all     *Sketch   // slowdown, every flow
+	short   *Sketch   // slowdown, flows <= ShortFlowLimit
+	shortUS *Sketch   // FCT in µs, flows <= ShortFlowLimit
+	buckets []*Sketch // slowdown per size bucket (len == len(edges))
+	dropped uint64    // records no bucket accepts (Size <= 0)
+}
 
-// Checkpoint marks the current record count (the set is append-only, so
-// a length suffices). Part of the sim.Checkpointable contract used by
-// speculative shard synchronization.
-func (s *FCTSet) Checkpoint() { s.mark = len(s.Records) }
+// NewStreamingFCT returns a streaming-mode set with the given size-
+// bucket edges (nil edges default to WebSearchEdges) and sketch
+// relative accuracy alpha (<= 0 means DefaultRelativeAccuracy).
+func NewStreamingFCT(edges []int64, alpha float64) FCTSet {
+	if len(edges) == 0 {
+		edges = WebSearchEdges()
+	}
+	str := &fctStream{
+		edges:   append([]int64(nil), edges...),
+		all:     NewSketch(alpha),
+		short:   NewSketch(alpha),
+		shortUS: NewSketch(alpha),
+		buckets: make([]*Sketch, len(edges)),
+	}
+	for i := range str.buckets {
+		str.buckets[i] = NewSketch(alpha)
+	}
+	return FCTSet{str: str}
+}
 
-// Rollback truncates back to the last Checkpoint, dropping records
-// appended by a rolled-back speculative run.
-func (s *FCTSet) Rollback() { s.Records = s.Records[:s.mark] }
+// Streaming reports whether the set sketches instead of retaining
+// records.
+func (s *FCTSet) Streaming() bool { return s.str != nil }
 
-// Slowdowns returns every record's slowdown.
+// Add appends one record (exact mode) or streams it into the sketches.
+func (s *FCTSet) Add(r FCTRecord) {
+	if s.str == nil {
+		s.Records = append(s.Records, r)
+		return
+	}
+	st := s.str
+	sl := r.Slowdown()
+	st.all.Add(sl)
+	if r.Size <= ShortFlowLimit {
+		st.short.Add(sl)
+		st.shortUS.Add(r.FCT.Microseconds())
+	}
+	if i := bucketIndex(st.edges, r.Size); i >= 0 {
+		st.buckets[i].Add(sl)
+	} else {
+		st.dropped++
+	}
+}
+
+// Count returns how many flows the set has absorbed.
+func (s *FCTSet) Count() int {
+	if s.str != nil {
+		return int(s.str.all.Count())
+	}
+	return len(s.Records)
+}
+
+// SlowdownQuantile returns the p-th percentile (0–100) of all
+// slowdowns: exact in exact mode, within the sketch accuracy in
+// streaming mode. Empty sets report 0 (callers publish the count
+// alongside), never NaN.
+func (s *FCTSet) SlowdownQuantile(p float64) float64 {
+	if s.str != nil {
+		return quantileOrZero(s.str.all, p)
+	}
+	if len(s.Records) == 0 {
+		return 0
+	}
+	return Percentile(s.Slowdowns(), p)
+}
+
+// ShortCount counts flows no larger than ShortFlowLimit.
+func (s *FCTSet) ShortCount() int {
+	if s.str != nil {
+		return int(s.str.short.Count())
+	}
+	n := 0
+	for _, r := range s.Records {
+		if r.Size <= ShortFlowLimit {
+			n++
+		}
+	}
+	return n
+}
+
+// ShortSlowdownQuantile is SlowdownQuantile over the short-flow class.
+func (s *FCTSet) ShortSlowdownQuantile(p float64) float64 {
+	if s.str != nil {
+		return quantileOrZero(s.str.short, p)
+	}
+	var xs []float64
+	for _, r := range s.Records {
+		if r.Size <= ShortFlowLimit {
+			xs = append(xs, r.Slowdown())
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return Percentile(xs, p)
+}
+
+// ShortLatencyQuantile returns the p-th percentile of short-flow FCT in
+// microseconds (the "95pct-latency" bars of Figures 2b/11). Empty sets
+// report NaN like Percentile, preserving the exact-mode contract.
+func (s *FCTSet) ShortLatencyQuantile(p float64) float64 {
+	if s.str != nil {
+		return s.str.shortUS.Quantile(p)
+	}
+	var xs []float64
+	for _, r := range s.Records {
+		if r.Size <= ShortFlowLimit {
+			xs = append(xs, r.FCT.Microseconds())
+		}
+	}
+	return Percentile(xs, p)
+}
+
+// quantileOrZero maps the empty-sketch NaN to 0.
+func quantileOrZero(sk *Sketch, p float64) float64 {
+	if sk.Count() == 0 {
+		return 0
+	}
+	return sk.Quantile(p)
+}
+
+// Merge absorbs o into s: records concatenate in exact mode, sketches
+// merge exactly (bucket-count addition) in streaming mode. The modes
+// must match; in streaming mode the bucket edges must match too.
+func (s *FCTSet) Merge(o *FCTSet) {
+	if (s.str == nil) != (o.str == nil) {
+		panic("stats: FCTSet.Merge across modes")
+	}
+	if s.str == nil {
+		s.Records = append(s.Records, o.Records...)
+		return
+	}
+	if len(s.str.edges) != len(o.str.edges) {
+		panic("stats: FCTSet.Merge with different bucket edges")
+	}
+	s.str.all.Merge(o.str.all)
+	s.str.short.Merge(o.str.short)
+	s.str.shortUS.Merge(o.str.shortUS)
+	for i := range s.str.buckets {
+		s.str.buckets[i].Merge(o.str.buckets[i])
+	}
+	s.str.dropped += o.str.dropped
+}
+
+// RetainedBytes is the set's logical stat footprint: records retained
+// in exact mode, occupied sketch buckets in streaming mode. It is
+// deterministic and identical across shard counts and merge orders.
+func (s *FCTSet) RetainedBytes() int64 {
+	if s.str == nil {
+		return int64(len(s.Records)) * 24 // Size + FCT + Ideal
+	}
+	st := s.str
+	total := st.all.RetainedBytes() + st.short.RetainedBytes() + st.shortUS.RetainedBytes()
+	for _, b := range st.buckets {
+		total += b.RetainedBytes()
+	}
+	return total
+}
+
+// Checkpoint marks the current state (sim.Checkpointable, used by
+// speculative shard synchronization). Exact mode records a high-water
+// mark (the record list is append-only); streaming mode snapshots every
+// sketch's bucket counts in place.
+func (s *FCTSet) Checkpoint() {
+	if s.str == nil {
+		s.mark = len(s.Records)
+		return
+	}
+	s.str.all.Checkpoint()
+	s.str.short.Checkpoint()
+	s.str.shortUS.Checkpoint()
+	for _, b := range s.str.buckets {
+		b.Checkpoint()
+	}
+}
+
+// Rollback restores the last Checkpoint, dropping state added by a
+// rolled-back speculative run.
+func (s *FCTSet) Rollback() {
+	if s.str == nil {
+		s.Records = s.Records[:s.mark]
+		return
+	}
+	s.str.all.Rollback()
+	s.str.short.Rollback()
+	s.str.shortUS.Rollback()
+	for _, b := range s.str.buckets {
+		b.Rollback()
+	}
+}
+
+// SlowdownSketch returns a sketch of every flow's slowdown: streaming
+// sets clone their running sketch (alpha is ignored), exact sets build
+// one from the records. The campaign layer pools these across seeds so
+// multi-seed percentiles come from the pooled distribution.
+func (s *FCTSet) SlowdownSketch(alpha float64) *Sketch {
+	if s.str != nil {
+		return s.str.all.Clone()
+	}
+	sk := NewSketch(alpha)
+	for _, r := range s.Records {
+		sk.Add(r.Slowdown())
+	}
+	return sk
+}
+
+// Slowdowns returns every record's slowdown (exact mode only; streaming
+// sets retain no per-flow values and return nil).
 func (s *FCTSet) Slowdowns() []float64 {
+	if s.str != nil {
+		return nil
+	}
 	out := make([]float64, len(s.Records))
 	for i, r := range s.Records {
 		out[i] = r.Slowdown()
@@ -77,15 +304,47 @@ type BucketRow struct {
 	Stats  Summary
 }
 
-// Buckets groups records into the given size-bucket edges (the figure's
-// x-axis labels; edge i bounds bucket i as (edge[i-1], edge[i]], with
-// the first bucket anchored at 0) and summarizes slowdowns per bucket.
-// Flows larger than the last edge land in the final bucket rather than
-// being dropped, so custom workloads with outsized flows keep their
-// tail-slowdown statistics.
+// bucketIndex maps a flow size onto the bucket edges: edge i bounds
+// bucket i as (edge[i-1], edge[i]], the first bucket is anchored at 0,
+// and sizes beyond the last edge land in the final bucket. Returns -1
+// for sizes no bucket accepts (Size <= 0). Binary search over the
+// sorted edge array, O(log edges) per record.
+func bucketIndex(edges []int64, size int64) int {
+	if size <= 0 || len(edges) == 0 {
+		return -1
+	}
+	i := sort.Search(len(edges), func(i int) bool { return edges[i] >= size })
+	if i == len(edges) {
+		i-- // oversized flows keep their tail statistics in the last bucket
+	}
+	return i
+}
+
+// Buckets groups flows into the given size-bucket edges (the figure's
+// x-axis labels) and summarizes slowdowns per bucket. In streaming mode
+// the edges must be the ones the set was built with (nil means "the
+// configured edges") and the per-bucket Summary comes from that
+// bucket's sketch: N, Mean and Max exact, percentiles within the sketch
+// accuracy.
 func (s *FCTSet) Buckets(edges []int64) []BucketRow {
-	rows := make([]BucketRow, len(edges))
+	if s.str != nil {
+		return s.str.rows(edges)
+	}
+	rows := bucketBounds(edges)
 	vals := make([][]float64, len(edges))
+	for _, r := range s.Records {
+		if i := bucketIndex(edges, r.Size); i >= 0 {
+			vals[i] = append(vals[i], r.Slowdown())
+		}
+	}
+	for i := range rows {
+		rows[i].Stats = Summarize(vals[i])
+	}
+	return rows
+}
+
+func bucketBounds(edges []int64) []BucketRow {
+	rows := make([]BucketRow, len(edges))
 	for i := range rows {
 		lo := int64(0)
 		if i > 0 {
@@ -93,20 +352,24 @@ func (s *FCTSet) Buckets(edges []int64) []BucketRow {
 		}
 		rows[i] = BucketRow{Lo: lo, Hi: edges[i]}
 	}
-	for _, r := range s.Records {
-		for i := range edges {
-			lo := int64(0)
-			if i > 0 {
-				lo = edges[i-1]
-			}
-			if r.Size > lo && (r.Size <= edges[i] || i == len(edges)-1) {
-				vals[i] = append(vals[i], r.Slowdown())
-				break
-			}
+	return rows
+}
+
+func (st *fctStream) rows(edges []int64) []BucketRow {
+	if edges == nil {
+		edges = st.edges
+	}
+	if len(edges) != len(st.edges) {
+		panic("stats: streaming FCTSet bucketed with foreign edges")
+	}
+	for i, e := range edges {
+		if st.edges[i] != e {
+			panic("stats: streaming FCTSet bucketed with foreign edges")
 		}
 	}
+	rows := bucketBounds(edges)
 	for i := range rows {
-		rows[i].Stats = Summarize(vals[i])
+		rows[i].Stats = st.buckets[i].Summary()
 	}
 	return rows
 }

@@ -27,6 +27,24 @@ type QueueMonitor struct {
 	// regardless of SampleCap.
 	OnSample func(TimePoint)
 
+	// Sketch mode (EnableSketch): per-port depth observations stream
+	// into a mergeable quantile sketch instead of the Samples/Series
+	// slices, so retention is O(buckets) however long the run. OnSample
+	// still fires every tick, so time-series observers keep working.
+	sketch *Sketch // cumulative per-port depths; non-nil => sketch mode
+	window *Sketch // depths since the last flush (fed when FlushEvery > 0)
+
+	// FlushEvery, when positive, closes the current window every
+	// FlushEvery ticks and reports it to OnFlush — the interval-flush
+	// primitive live-progress consumers ride: each flush carries the
+	// window's depth summary plus the cumulative one, then the window
+	// resets. Works in either retention mode (the window itself is
+	// always a sketch); set both right after NewQueueMonitor.
+	FlushEvery int
+	OnFlush    func(QueueFlush)
+	winTicks   int
+	winStart   sim.Time
+
 	// SampleCap, when positive, bounds the retained sampling instants:
 	// the monitor keeps ticks whose index is a multiple of an adaptive
 	// stride, doubling the stride (and dropping half the retained rows)
@@ -55,6 +73,8 @@ type monSnap struct {
 	stride, ticks     uint64
 	samples           []float64
 	series            []TimePoint
+	winTicks          int
+	winStart          sim.Time
 }
 
 // Checkpoint captures the monitor's retained rows and tick counters,
@@ -64,6 +84,12 @@ func (m *QueueMonitor) Checkpoint() {
 	s := &m.snap
 	s.valid = true
 	s.stride, s.ticks = m.stride, m.ticks
+	if m.sketch != nil {
+		m.sketch.Checkpoint()
+		m.window.Checkpoint()
+		s.winTicks, s.winStart = m.winTicks, m.winStart
+		return
+	}
 	s.deep = m.SampleCap > 0
 	if s.deep {
 		s.samples = append(s.samples[:0], m.Samples...)
@@ -80,6 +106,12 @@ func (m *QueueMonitor) Rollback() {
 		panic("stats: QueueMonitor.Rollback without Checkpoint")
 	}
 	m.stride, m.ticks = s.stride, s.ticks
+	if m.sketch != nil {
+		m.sketch.Rollback()
+		m.window.Rollback()
+		m.winTicks, m.winStart = s.winTicks, s.winStart
+		return
+	}
 	if s.deep {
 		m.Samples = append(m.Samples[:0], s.samples...)
 		m.Series = append(m.Series[:0], s.series...)
@@ -105,6 +137,32 @@ func NewQueueMonitor(eng *sim.Engine, ports []*fabric.Port, prio uint8, interval
 // Stop ends sampling at the next tick.
 func (m *QueueMonitor) Stop() { m.until = -1 }
 
+// EnableSketch switches the monitor to sketch mode with the given
+// relative accuracy (alpha <= 0 means DefaultRelativeAccuracy): no
+// sample or series rows are retained, every per-port observation
+// streams into mergeable sketches instead. Call it right after
+// NewQueueMonitor, before the first tick.
+func (m *QueueMonitor) EnableSketch(alpha float64) {
+	m.sketch = NewSketch(alpha)
+	m.window = NewSketch(alpha)
+}
+
+// Streaming reports whether the monitor sketches instead of retaining
+// samples.
+func (m *QueueMonitor) Streaming() bool { return m.sketch != nil }
+
+// QueueFlush is one closed interval window of queue-depth observations,
+// delivered to OnFlush every FlushEvery ticks in sketch mode.
+type QueueFlush struct {
+	Start sim.Time // window open (previous flush, or monitoring start)
+	At    sim.Time // window close: the tick that triggered the flush
+	Ticks int      // sampling instants inside the window
+	// Window summarizes per-port depths inside this window alone; Run
+	// is the cumulative distribution since monitoring began.
+	Window Summary
+	Run    Summary
+}
+
 func (m *QueueMonitor) tick() {
 	now := m.eng.Now()
 	if now > m.until {
@@ -113,15 +171,24 @@ func (m *QueueMonitor) tick() {
 	if m.stride == 0 {
 		m.stride = 1
 	}
+	if m.FlushEvery > 0 && m.window == nil {
+		m.window = NewSketch(0) // exact-retention monitor with a flush consumer
+	}
 	idx := m.ticks
 	m.ticks++
-	keep := idx%m.stride == 0
+	keep := m.sketch == nil && idx%m.stride == 0
 	total := 0.0
 	for _, p := range m.ports {
 		q := float64(p.QueueBytes(m.prio))
 		total += q
-		if keep {
+		switch {
+		case m.sketch != nil:
+			m.sketch.Add(q)
+		case keep:
 			m.Samples = append(m.Samples, q)
+		}
+		if m.FlushEvery > 0 {
+			m.window.Add(q)
 		}
 	}
 	if keep {
@@ -130,10 +197,71 @@ func (m *QueueMonitor) tick() {
 			m.decimate()
 		}
 	}
+	if m.FlushEvery > 0 {
+		m.winTicks++
+		if m.winTicks >= m.FlushEvery {
+			f := QueueFlush{Start: m.winStart, At: now, Ticks: m.winTicks,
+				Window: m.window.Summary(), Run: m.Summary()}
+			m.winStart = now
+			m.winTicks = 0
+			m.window.Reset()
+			if m.OnFlush != nil {
+				m.OnFlush(f)
+			}
+		}
+	}
 	if m.OnSample != nil {
 		m.OnSample(TimePoint{now, total})
 	}
 	m.eng.After(m.interval, m.tick)
+}
+
+// Summary summarizes the per-port depth observations, mode-agnostic:
+// exact over retained Samples, α-accurate from the sketch.
+func (m *QueueMonitor) Summary() Summary {
+	if m.sketch != nil {
+		return m.sketch.Summary()
+	}
+	return Summarize(m.Samples)
+}
+
+// DepthQuantile returns the p-th percentile of per-port queue depth
+// (bytes). Empty monitors report 0.
+func (m *QueueMonitor) DepthQuantile(p float64) float64 {
+	if m.sketch != nil {
+		return quantileOrZero(m.sketch, p)
+	}
+	if len(m.Samples) == 0 {
+		return 0
+	}
+	return Percentile(m.Samples, p)
+}
+
+// RetainedBytes is the monitor's logical stat footprint: retained
+// sample rows in exact mode, occupied sketch buckets in sketch mode.
+// Series is excluded — per-shard monitors each carry their own totals
+// row, so it is not part of the shard-count-invariant contract this
+// figure feeds.
+func (m *QueueMonitor) RetainedBytes() int64 {
+	if m.sketch != nil {
+		total := m.sketch.RetainedBytes()
+		if m.window.Count() > 0 {
+			total += m.window.RetainedBytes()
+		}
+		return total
+	}
+	return int64(len(m.Samples)) * 8
+}
+
+// MergeSketch folds another sketch-mode monitor's cumulative depth
+// distribution into m. Per-shard monitors cover disjoint port sets, so
+// the merged sketch is exactly the one a whole-fabric monitor on the
+// same tick schedule would have built.
+func (m *QueueMonitor) MergeSketch(o *QueueMonitor) {
+	if m.sketch == nil || o.sketch == nil {
+		panic("stats: MergeSketch on an exact-mode QueueMonitor")
+	}
+	m.sketch.Merge(o.sketch)
 }
 
 // decimate doubles the keep-stride and drops the retained rows that no

@@ -70,3 +70,68 @@ func TestQueueMonitorUncapped(t *testing.T) {
 		t.Fatalf("retained %d rows, want 100", len(m.Series))
 	}
 }
+
+// Sketch mode retains no rows and closes a window every FlushEvery
+// ticks: contiguous windows, each covering exactly FlushEvery instants,
+// while OnSample still sees every tick.
+func TestQueueMonitorSketchFlushCadence(t *testing.T) {
+	const interval = 10 * sim.Microsecond
+	eng := sim.NewEngine()
+	m := NewQueueMonitor(eng, nil, 0, interval, 10*sim.Millisecond)
+	m.EnableSketch(0)
+	m.FlushEvery = 100
+	var flushes []QueueFlush
+	m.OnFlush = func(f QueueFlush) { flushes = append(flushes, f) }
+	streamed := 0
+	m.OnSample = func(TimePoint) { streamed++ }
+	eng.Run()
+
+	if len(m.Samples) != 0 || len(m.Series) != 0 {
+		t.Fatalf("sketch mode retained %d samples / %d series rows", len(m.Samples), len(m.Series))
+	}
+	if streamed != 1000 {
+		t.Fatalf("OnSample saw %d ticks, want 1000", streamed)
+	}
+	if len(flushes) != 10 {
+		t.Fatalf("%d flushes, want 10", len(flushes))
+	}
+	prev := sim.Time(0)
+	for i, f := range flushes {
+		if f.Ticks != 100 {
+			t.Fatalf("flush %d covers %d ticks, want 100", i, f.Ticks)
+		}
+		if f.Start != prev {
+			t.Fatalf("flush %d window [%v, %v] not contiguous with previous close %v", i, f.Start, f.At, prev)
+		}
+		prev = f.At
+	}
+	if prev != 10*sim.Millisecond {
+		t.Fatalf("last window closed at %v, want 10ms", prev)
+	}
+}
+
+// Sketch-mode Checkpoint/Rollback must restore the cumulative sketch,
+// the open window, and the window phase — the speculative shard-sync
+// contract.
+func TestQueueMonitorSketchCheckpointRollback(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewQueueMonitor(eng, nil, 0, 10*sim.Microsecond, 10*sim.Millisecond)
+	m.EnableSketch(0)
+	m.FlushEvery = 64
+	eng.RunUntil(sim.Millisecond) // 100 ticks: mid-window (100 mod 64 = 36)
+	m.sketch.Add(5)               // stand in for port observations
+	m.window.Add(5)
+	m.Checkpoint()
+	wantTicks, wantStart := m.winTicks, m.winStart
+	eng.RunUntil(2 * sim.Millisecond)
+	m.sketch.Add(9)
+	m.window.Add(9)
+	m.Rollback()
+	if m.winTicks != wantTicks || m.winStart != wantStart {
+		t.Fatalf("window phase drifted: (%d, %v) vs (%d, %v)", m.winTicks, m.winStart, wantTicks, wantStart)
+	}
+	if m.sketch.Count() != 1 || m.sketch.Max() != 5 || m.window.Count() != 1 {
+		t.Fatalf("sketch state not restored: count %d max %g window %d",
+			m.sketch.Count(), m.sketch.Max(), m.window.Count())
+	}
+}

@@ -9,14 +9,15 @@ import (
 
 // Observer streams simulation events to user callbacks while an
 // Experiment runs: per-flow completion records (FlowObserver),
-// periodic queue samples (QueueObserver), and PFC pause transitions
-// (PFCObserver). Attach any number to Experiment.Observers; callbacks
-// fire in virtual-time order as the simulation executes.
+// periodic queue samples (QueueObserver), PFC pause transitions
+// (PFCObserver), and interval statistics flushes (StatsObserver).
+// Attach any number to Experiment.Observers; callbacks fire in
+// virtual-time order as the simulation executes.
 //
-// The interface is sealed; the three concrete observers cover the
+// The interface is sealed; the four concrete observers cover the
 // streams the engine exposes.
 type Observer interface {
-	attach(obs *experiment.Obs)
+	attach(sc *experiment.LoadScenario)
 }
 
 // FlowRecord is one completed transfer as seen by a FlowObserver. For
@@ -38,12 +39,12 @@ type FlowObserver struct {
 	OnComplete func(FlowRecord)
 }
 
-func (o FlowObserver) attach(obs *experiment.Obs) {
+func (o FlowObserver) attach(sc *experiment.LoadScenario) {
 	if o.OnComplete == nil {
 		return
 	}
-	fn, prev := o.OnComplete, obs.OnFlow
-	obs.OnFlow = func(ev experiment.FlowEvent) {
+	fn, prev := o.OnComplete, sc.Obs.OnFlow
+	sc.Obs.OnFlow = func(ev experiment.FlowEvent) {
 		if prev != nil {
 			prev(ev)
 		}
@@ -76,13 +77,13 @@ type QueueObserver struct {
 	Every int
 }
 
-func (o QueueObserver) attach(obs *experiment.Obs) {
+func (o QueueObserver) attach(sc *experiment.LoadScenario) {
 	if o.OnSample == nil {
 		return
 	}
-	fn, prev := o.OnSample, obs.OnQueue
+	fn, prev := o.OnSample, sc.Obs.OnQueue
 	every, n := o.Every, 0
-	obs.OnQueue = func(tp stats.TimePoint) {
+	sc.Obs.OnQueue = func(tp stats.TimePoint) {
 		if prev != nil {
 			prev(tp)
 		}
@@ -110,15 +111,89 @@ type PFCObserver struct {
 	OnEvent func(PFCEvent)
 }
 
-func (o PFCObserver) attach(obs *experiment.Obs) {
+func (o PFCObserver) attach(sc *experiment.LoadScenario) {
 	if o.OnEvent == nil {
 		return
 	}
-	fn, prev := o.OnEvent, obs.OnPFC
-	obs.OnPFC = func(ev stats.PFCEvent) {
+	fn, prev := o.OnEvent, sc.Obs.OnPFC
+	sc.Obs.OnPFC = func(ev stats.PFCEvent) {
 		if prev != nil {
 			prev(ev)
 		}
 		fn(PFCEvent{At: fromSim(ev.At), Switch: ev.Switch, Port: ev.Port, Paused: ev.Paused})
+	}
+}
+
+// StatsFlush is one closed interval window of a live run's statistics,
+// as streamed by a StatsObserver: queue-depth percentiles over the
+// window alone, plus cumulative flow statistics since the run began.
+// Percentile fields come from streaming sketches (within 1% relative
+// accuracy by default), so a flush costs O(sketch buckets) however
+// many flows or samples the run has absorbed.
+type StatsFlush struct {
+	// Start/End bound the window in virtual time.
+	Start, End time.Duration
+	// QueueP50KB/P99KB/MaxKB are per-port queue-depth percentiles over
+	// this window's sampling ticks only.
+	QueueP50KB, QueueP99KB, QueueMaxKB float64
+	// RunQueueP99KB is the cumulative p99 since monitoring began.
+	RunQueueP99KB float64
+	// Flows counts completions so far; SlowdownP50/P99 summarize their
+	// FCT slowdowns so far.
+	Flows                    int
+	SlowdownP50, SlowdownP99 float64
+}
+
+// StatsObserver streams interval statistics flushes from a live run —
+// the progress feed for dashboards and long campaigns: every Every
+// queue-sampling ticks it emits one StatsFlush combining the closed
+// queue window with cumulative flow statistics. The observer keeps its
+// own slowdown sketch fed from the flow stream, so it works (and costs
+// O(sketch buckets)) in both exact and sketch-stats runs.
+//
+// Like every observer, attaching one keeps the run on a single engine.
+type StatsObserver struct {
+	// Every is the window length in queue sampling ticks (default 100:
+	// 1 ms at the default 10 µs sampling period).
+	Every   int
+	OnFlush func(StatsFlush)
+	// Accuracy is the observer's sketch relative accuracy (default 1%).
+	Accuracy float64
+}
+
+func (o StatsObserver) attach(sc *experiment.LoadScenario) {
+	if o.OnFlush == nil {
+		return
+	}
+	slowdown := stats.NewSketch(o.Accuracy)
+	prevFlow := sc.Obs.OnFlow
+	sc.Obs.OnFlow = func(ev experiment.FlowEvent) {
+		if prevFlow != nil {
+			prevFlow(ev)
+		}
+		slowdown.Add(ev.Rec.Slowdown())
+	}
+	if o.Every > 0 {
+		sc.FlushEvery = o.Every
+	}
+	fn, prevFlush := o.OnFlush, sc.Obs.OnQueueFlush
+	sc.Obs.OnQueueFlush = func(f stats.QueueFlush) {
+		if prevFlush != nil {
+			prevFlush(f)
+		}
+		out := StatsFlush{
+			Start:         fromSim(f.Start),
+			End:           fromSim(f.At),
+			QueueP50KB:    f.Window.P50 / 1024,
+			QueueP99KB:    f.Window.P99 / 1024,
+			QueueMaxKB:    f.Window.Max / 1024,
+			RunQueueP99KB: f.Run.P99 / 1024,
+			Flows:         int(slowdown.Count()),
+		}
+		if out.Flows > 0 {
+			out.SlowdownP50 = slowdown.Quantile(50)
+			out.SlowdownP99 = slowdown.Quantile(99)
+		}
+		fn(out)
 	}
 }

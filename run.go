@@ -3,8 +3,6 @@ package hpcc
 import (
 	"fmt"
 	"time"
-
-	"hpcc/internal/stats"
 )
 
 // SimConfig describes a whole-cluster load experiment: Poisson traffic
@@ -48,6 +46,13 @@ type SimConfig struct {
 	// SpeculationWindow caps the speculative horizon (see
 	// Experiment.SpeculationWindow; default 8).
 	SpeculationWindow int
+	// SketchStats switches result statistics to streaming quantile
+	// sketches: O(buckets) retained stat memory regardless of flow
+	// count, percentiles within StatsAccuracy of exact (see
+	// Experiment.SketchStats).
+	SketchStats bool
+	// StatsAccuracy is the sketch relative accuracy (default 0.01).
+	StatsAccuracy float64
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 }
@@ -57,9 +62,12 @@ type SimResult struct {
 	Scheme string
 	// Flows completed; Censored were still in flight at the horizon.
 	Flows, Censored int
-	// SlowdownP50/P95/P99 are FCT-slowdown percentiles over all flows
-	// (0 when no flows completed — see Flows).
-	SlowdownP50, SlowdownP95, SlowdownP99 float64
+	// SlowdownP50/P95/P99/P999 are FCT-slowdown percentiles over all
+	// flows (0 when no flows completed — see Flows). In sketch-stats
+	// mode each is within the configured relative accuracy of the exact
+	// percentile; P999 is the deep-tail figure sketches make affordable
+	// at million-flow scale.
+	SlowdownP50, SlowdownP95, SlowdownP99, SlowdownP999 float64
 	// ShortFlowP99Slowdown covers flows ≤ 7 KB (the latency-sensitive
 	// class the paper highlights). When ShortFlows is 0, it reports 0
 	// rather than NaN, so results always survive encoding/json.
@@ -73,6 +81,11 @@ type SimResult struct {
 	// PFCPauseFraction is paused (port × time) over the whole run.
 	PFCPauseFraction float64
 	Drops            uint64
+	// RetainedStatBytes is the run's logical retained-statistics
+	// footprint (FCT retention plus pooled queue samples; sketch
+	// buckets in sketch-stats mode). Deterministic and identical across
+	// shard counts; flat in flow count when SketchStats is set.
+	RetainedStatBytes int64
 	// ShardsUsed is how many engines actually executed the run. Sharded
 	// execution is best-effort (closed-loop traffic, observers and
 	// non-partitionable topologies fall back to one engine), so this can
@@ -154,26 +167,8 @@ func Run(cfg SimConfig) (*SimResult, error) {
 		Shards:            cfg.Shards,
 		Speculate:         cfg.Speculate,
 		SpeculationWindow: cfg.SpeculationWindow,
+		SketchStats:       cfg.SketchStats,
+		StatsAccuracy:     cfg.StatsAccuracy,
 		Seed:              cfg.Seed,
 	}.Run()
-}
-
-// percentileOrZero is stats.Percentile with the empty-set NaN mapped
-// to 0 (the caller reports the sample count alongside).
-func percentileOrZero(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	return stats.Percentile(xs, p)
-}
-
-// shortSlowdowns collects the slowdowns of flows no larger than limit.
-func shortSlowdowns(set *stats.FCTSet, limit int64) ([]float64, int) {
-	var xs []float64
-	for _, rec := range set.Records {
-		if rec.Size <= limit {
-			xs = append(xs, rec.Slowdown())
-		}
-	}
-	return xs, len(xs)
 }
