@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CheckpointFieldsAnalyzer verifies the sim.Checkpointable contract
+// structurally: for every struct type with Checkpoint/Rollback methods,
+// each field must be referenced in BOTH methods — snapshotted on
+// Checkpoint and restored on Rollback — or carry an explicit
+// "//hpcclint:nosnap <reason>" annotation (immutable config, derived
+// state, journaled membership, the snapshot slot itself). A
+// whole-struct copy through the receiver (*s = *r / *r = *s) covers
+// every field at once, the flat-value pattern the cc schemes use.
+//
+// This turns "you added a field to Host but forgot to snapshot it" —
+// today a speculative-rollback golden failure several PRs later
+// (TestSpeculativePropertyRandomized) — into a build-time error.
+var CheckpointFieldsAnalyzer = &Analyzer{
+	Name:      "checkpointfields",
+	Doc:       "every mutable field of a sim.Checkpointable type must be covered by both Checkpoint and Rollback (or annotated //hpcclint:nosnap)",
+	Invariant: "checkpoint-rollback-field-coverage",
+	Run:       runCheckpointFields,
+}
+
+// ckptField is one declared field of a checkpointable struct.
+type ckptField struct {
+	name   string
+	pos    token.Pos
+	nosnap bool
+}
+
+func runCheckpointFields(pass *Pass) error {
+	// Collect struct declarations and the Checkpoint/Rollback methods
+	// per receiver type across the whole package (the struct and its
+	// checkpoint code commonly live in different files).
+	structs := map[string]*ast.StructType{}
+	structPos := map[string]token.Pos{}
+	methods := map[string]map[string]*ast.FuncDecl{} // type -> method name -> decl
+	nosnapLines := map[string]map[int]bool{}         // filename -> line with a nosnap directive
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		fname := pass.Fset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if kind, _, ok := ParseDirective(c.Text); ok && kind == "nosnap" {
+					if nosnapLines[fname] == nil {
+						nosnapLines[fname] = map[int]bool{}
+					}
+					nosnapLines[fname][pass.Fset.Position(c.End()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+						structPos[ts.Name.Name] = ts.Name.Pos()
+					}
+				}
+			case *ast.FuncDecl:
+				name := d.Name.Name
+				if (name != "Checkpoint" && name != "Rollback") || d.Recv == nil {
+					continue
+				}
+				if d.Type.Params.NumFields() != 0 || d.Type.Results.NumFields() != 0 {
+					continue // not the sim.Checkpointable shape
+				}
+				recv := recvTypeName(d)
+				if recv == "" {
+					continue
+				}
+				if methods[recv] == nil {
+					methods[recv] = map[string]*ast.FuncDecl{}
+				}
+				methods[recv][name] = d
+			}
+		}
+	}
+
+	for typeName, ms := range methods {
+		st, ok := structs[typeName]
+		if !ok {
+			continue // method on a non-struct or foreign type
+		}
+		ck, hasCk := ms["Checkpoint"]
+		rb, hasRb := ms["Rollback"]
+		if hasCk != hasRb {
+			have, missing := "Checkpoint", "Rollback"
+			if hasRb {
+				have, missing = "Rollback", "Checkpoint"
+			}
+			pass.Reportf(structPos[typeName],
+				"%s has %s but no %s: sim.Checkpointable requires both, and a half-implemented pair "+
+					"silently corrupts speculative rollback", typeName, have, missing)
+			continue
+		}
+
+		fields := structFields(pass, st, nosnapLines)
+		if len(fields) == 0 {
+			continue
+		}
+		inCk := fieldRefs(pass, ck, fields)
+		inRb := fieldRefs(pass, rb, fields)
+		for _, fd := range fields {
+			if fd.nosnap {
+				continue
+			}
+			ckOK, rbOK := inCk[fd.name], inRb[fd.name]
+			if ckOK && rbOK {
+				continue
+			}
+			var where string
+			switch {
+			case !ckOK && !rbOK:
+				where = "Checkpoint or Rollback"
+			case !ckOK:
+				where = "Checkpoint"
+			default:
+				where = "Rollback"
+			}
+			pass.Reportf(fd.pos,
+				"field %s of checkpointable type %s is not referenced in %s: snapshot and restore it, "+
+					"or annotate it //hpcclint:nosnap <reason> if it is immutable, derived or journaled elsewhere",
+				fd.name, typeName, where)
+		}
+	}
+	return nil
+}
+
+func recvTypeName(d *ast.FuncDecl) string {
+	if len(d.Recv.List) != 1 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func structFields(pass *Pass, st *ast.StructType, nosnapLines map[string]map[int]bool) []ckptField {
+	var out []ckptField
+	for _, f := range st.Fields.List {
+		nosnap := false
+		pos := f.Pos()
+		p := pass.Fset.Position(pos)
+		if lines := nosnapLines[p.Filename]; lines != nil {
+			// Directive trailing the field's line, or on the line above.
+			nosnap = lines[p.Line] || lines[p.Line-1]
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: refer to it by its type's base name.
+			name := embeddedName(f.Type)
+			if name != "" {
+				out = append(out, ckptField{name: name, pos: pos, nosnap: nosnap})
+			}
+			continue
+		}
+		for _, id := range f.Names {
+			if id.Name == "_" {
+				continue
+			}
+			out = append(out, ckptField{name: id.Name, pos: id.Pos(), nosnap: nosnap})
+		}
+	}
+	return out
+}
+
+func embeddedName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(t.X)
+	}
+	return ""
+}
+
+// fieldRefs returns the set of struct fields the method references
+// through its receiver, treating a whole-struct copy via the receiver
+// (*dst = *recv, *recv = *src, s := *recv) as covering every field.
+func fieldRefs(pass *Pass, fn *ast.FuncDecl, fields []ckptField) map[string]bool {
+	known := map[string]bool{}
+	for _, fd := range fields {
+		known[fd.name] = true
+	}
+	recvName := ""
+	if names := fn.Recv.List[0].Names; len(names) == 1 {
+		recvName = names[0].Name
+	}
+	refs := map[string]bool{}
+	if recvName == "" || recvName == "_" || fn.Body == nil {
+		return refs
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	coverAll := func() {
+		for name := range known {
+			refs[name] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isRecv(n.X) && known[n.Sel.Name] {
+				refs[n.Sel.Name] = true
+			}
+		case *ast.StarExpr:
+			// *recv as a value or assignment target is a whole-struct
+			// copy: every field is snapshotted/restored at once.
+			if isRecv(n.X) {
+				coverAll()
+			}
+		}
+		return true
+	})
+	return refs
+}
+
+// String implements fmt.Stringer for debugging field sets.
+func (f ckptField) String() string {
+	var b strings.Builder
+	b.WriteString(f.name)
+	if f.nosnap {
+		b.WriteString(" (nosnap)")
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hpcc/internal/analysis"
+	"hpcc/internal/analysis/analysistest"
+)
+
+func TestCheckpointFields(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CheckpointFieldsAnalyzer, "hpcc/internal/host")
+}

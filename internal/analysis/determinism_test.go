@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hpcc/internal/analysis"
+	"hpcc/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "hpcc/internal/fabric")
+}
+
+// TestDeterminismOutOfScope checks the analyzer stays silent outside
+// the sim packages: internal/report may read the wall clock.
+func TestDeterminismOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "hpcc/internal/report")
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EventKeyAnalyzer flags unkeyed Engine.At/Engine.After calls in the
+// packet-delivery and arrival packages (internal/fabric, topology,
+// workload). PR 5's canonical event rank orders same-picosecond events
+// by a structural key derived from the spec; an unkeyed call falls back
+// to key 0 and ties break by arming order, which differs between 1 and
+// N shards. Delivery and arrival paths must use AtKey/AfterKey with
+// sim.ArrivalKey or the port's WireKey.
+var EventKeyAnalyzer = &Analyzer{
+	Name:      "eventkey",
+	Doc:       "packet-delivery and arrival paths must schedule via AtKey/AfterKey so same-picosecond ties order by the canonical rank",
+	Invariant: "canonical-event-rank",
+	Run:       runEventKey,
+}
+
+func runEventKey(pass *Pass) error {
+	if !inDeliveryScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.Info, call)
+			if fn == nil || !isEngineMethod(fn, "At", "After") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unkeyed Engine.%s on a delivery/arrival path: same-picosecond ties break by arming order, "+
+					"which diverges between 1 and N shards; use %sKey with sim.ArrivalKey or the port's WireKey, "+
+					"or annotate //hpcclint:allow eventkey -- <reason> if ties are provably local",
+				fn.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isEngineMethod reports whether fn is a method with one of the given
+// names on *Engine (or Engine) from a package named "sim".
+func isEngineMethod(fn *types.Func, names ...string) bool {
+	match := false
+	for _, n := range names {
+		if fn.Name() == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}

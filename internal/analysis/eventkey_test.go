@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hpcc/internal/analysis"
+	"hpcc/internal/analysis/analysistest"
+)
+
+func TestEventKey(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EventKeyAnalyzer, "hpcc/internal/topology")
+}
+
+// TestEventKeyOutOfScope checks engine-local timers outside the
+// delivery scope (fabric/topology/workload) are exempt.
+func TestEventKeyOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EventKeyAnalyzer, "hpcc/internal/cc")
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer checks functions annotated //hpcclint:alloc-free
+// — the per-packet paths pinned at runtime by the AllocsPerRun tests
+// (port tx/deliver, host ACK processing, sketch Add) — for constructs
+// that allocate or are likely to escape to the heap: pointer composite
+// literals, map/slice literals, make/new, closures, fmt calls, string
+// concatenation and conversions, interface boxing of non-pointer
+// values, and method values. It is intraprocedural and conservative:
+// a flagged construct may in fact stay on the stack, but the hot paths
+// are written so none appear at all; per-flow setup inside a hot
+// function carries //hpcclint:allow hotpathalloc escapes.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "functions annotated //hpcclint:alloc-free must contain no allocating or heap-escaping constructs",
+	Invariant: "zero-allocation-hot-path",
+	Run:       runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isAllocFree(fn) {
+				continue
+			}
+			checkAllocFreeFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isAllocFree reports whether the function's doc comment carries the
+// //hpcclint:alloc-free directive.
+func isAllocFree(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if kind, _, ok := ParseDirective(c.Text); ok && kind == "alloc-free" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAllocFreeFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	name := fn.Name.Name
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s in alloc-free function %s: the per-packet hot path must not allocate "+
+				"(pinned by AllocsPerRun tests); hoist it to setup, reuse pooled state, "+
+				"or annotate //hpcclint:allow hotpathalloc -- <reason>", what, name)
+	}
+
+	// fmt calls box their arguments; report the call once rather than
+	// each boxed argument inside it.
+	var fmtCalls []*ast.CallExpr
+	inFmtCall := func(pos token.Pos) bool {
+		for _, c := range fmtCalls {
+			if c.Pos() <= pos && pos < c.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "pointer to composite literal (heap allocation)")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal (heap allocation)")
+			case *types.Slice:
+				report(n.Pos(), "slice literal (heap allocation)")
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure creation (allocates the closure and captured variables)")
+			return false // don't descend: the closure body runs elsewhere
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "make", "new") {
+				report(n.Pos(), "make/new (heap allocation)")
+				break
+			}
+			if fnObj := funcObj(info, n); fnObj != nil && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "fmt" {
+				fmtCalls = append(fmtCalls, n)
+				report(n.Pos(), "fmt call (formats and boxes arguments)")
+				break
+			}
+			if isConversion(info, n) {
+				checkConversion(pass, info, n, report)
+				break
+			}
+			checkCallBoxing(info, n, inFmtCall, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation (allocates the result)")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkImplicitBoxing(info, info.TypeOf(n.Lhs[i]), rhs, inFmtCall, report)
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation (allocates the result)")
+			}
+		case *ast.ReturnStmt:
+			results := fnResults(info, fn)
+			for i, r := range n.Results {
+				if i < len(results) {
+					checkImplicitBoxing(info, results[i], r, inFmtCall, report)
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method value (m := x.M used as a value, not called)
+			// allocates a bound-method closure.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if !isCalleeOf(fn.Body, n) {
+					report(n.Pos(), "method value (allocates a bound-method closure)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, which copy.
+func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to, from := info.TypeOf(call), info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	toStr, fromStr := isStringType(to), isStringType(from)
+	toSl := isByteOrRuneSlice(to)
+	fromSl := isByteOrRuneSlice(from)
+	if (toStr && fromSl) || (toSl && fromStr) {
+		report(call.Pos(), "string/[]byte conversion (copies the contents)")
+	}
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters.
+func checkCallBoxing(info *types.Info, call *ast.CallExpr, inFmtCall func(token.Pos) bool, report func(token.Pos, string)) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkImplicitBoxing(info, pt, arg, inFmtCall, report)
+	}
+}
+
+// checkImplicitBoxing reports when a non-pointer, non-interface
+// concrete value is assigned to an interface-typed destination: the
+// conversion boxes the value on the heap (interned small values aside).
+func checkImplicitBoxing(info *types.Info, dst types.Type, src ast.Expr, inFmtCall func(token.Pos) bool, report func(token.Pos, string)) {
+	if dst == nil || inFmtCall(src.Pos()) {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := info.TypeOf(src)
+	if st == nil {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return // interface-to-interface and pointers don't box
+	}
+	if st == types.Typ[types.UntypedNil] {
+		return
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	report(src.Pos(), "interface boxing of a non-pointer value (heap allocation)")
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// fnResults returns the declared result types of fn.
+func fnResults(info *types.Info, fn *ast.FuncDecl) []types.Type {
+	obj, _ := info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// isCalleeOf reports whether sel appears as the Fun of some call in
+// body — i.e. it is an ordinary method call, not a method value.
+func isCalleeOf(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hpcc/internal/analysis"
+	"hpcc/internal/analysis/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPathAllocAnalyzer, "hot")
+}

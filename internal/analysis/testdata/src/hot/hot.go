@@ -1,0 +1,67 @@
+// Package hot is a hotpathalloc fixture: only functions annotated
+// //hpcclint:alloc-free are checked, in any package.
+package hot
+
+import "fmt"
+
+type entry struct{ v int }
+
+type path struct {
+	buf  [8]int
+	n    int
+	name string
+}
+
+func consume(x interface{}) {}
+
+//hpcclint:alloc-free
+func (p *path) good(v int) {
+	e := entry{v: v} // value composite literal: stack, not flagged
+	p.buf[p.n&7] = e.v
+	p.n++
+}
+
+//hpcclint:alloc-free
+func (p *path) bad(v int) {
+	e := &entry{v: v} // want `pointer to composite literal`
+	_ = e
+	m := map[int]int{} // want `map literal`
+	_ = m
+	s := []int{v} // want `slice literal`
+	_ = s
+	b := make([]byte, 8) // want `make/new`
+	_ = b
+	f := func() int { return v } // want `closure creation`
+	_ = f
+	fmt.Printf("v=%d", v) // want `fmt call`
+	p.name = p.name + "x" // want `string concatenation`
+	var i interface{}
+	i = v // want `interface boxing`
+	_ = i
+	bs := []byte(p.name) // want `string/\[\]byte conversion`
+	_ = bs
+}
+
+//hpcclint:alloc-free
+func (p *path) boxes(v int) {
+	consume(v) // want `interface boxing`
+}
+
+//hpcclint:alloc-free
+func (p *path) mval() func(int) {
+	return p.put // want `method value`
+}
+
+func (p *path) put(v int) {}
+
+// cold is unannotated: the same constructs are not flagged.
+func (p *path) cold(v int) {
+	_ = &entry{v: v}
+	_ = make([]byte, 8)
+}
+
+//hpcclint:alloc-free
+func (p *path) setup() {
+	m := make(map[int]int) //hpcclint:allow hotpathalloc -- per-flow setup, not per-packet
+	_ = m
+}

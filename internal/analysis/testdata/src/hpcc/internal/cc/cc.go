@@ -1,0 +1,12 @@
+// Package cc is a negative fixture for the eventkey analyzer: it is
+// outside the delivery scope (fabric/topology/workload), so engine-
+// local timers may schedule unkeyed.
+package cc
+
+import "hpcc/internal/sim"
+
+type pacer struct{ eng *sim.Engine }
+
+func (p *pacer) rearm(d sim.Time, fn func()) {
+	p.eng.After(d, fn)
+}

@@ -1,0 +1,57 @@
+// Package host is a checkpointfields fixture: structs with
+// Checkpoint/Rollback pairs must cover every field in both methods,
+// unless annotated //hpcclint:nosnap or copied whole through the
+// receiver.
+package host
+
+type hostSnap struct {
+	inFl  int64
+	acked int64
+}
+
+type host struct {
+	id    int //hpcclint:nosnap immutable identity
+	inFl  int64
+	acked int64
+	lost  int64 // want `field lost of checkpointable type host is not referenced in Checkpoint or Rollback`
+	snap  hostSnap
+}
+
+func (h *host) Checkpoint() {
+	h.snap.inFl = h.inFl
+	h.snap.acked = h.acked
+}
+
+func (h *host) Rollback() {
+	h.inFl = h.snap.inFl
+	h.acked = h.snap.acked
+}
+
+type meter struct {
+	ticks int64 // want `field ticks of checkpointable type meter is not referenced in Rollback`
+	saved int64
+}
+
+func (m *meter) Checkpoint() { m.saved = m.ticks }
+
+func (m *meter) Rollback() { m.ticks2(m.saved) }
+
+func (m *meter) ticks2(v int64) {}
+
+// cwnd snapshots itself with a whole-struct copy: every field is
+// covered at once, the flat-value pattern the cc schemes use.
+type cwnd struct {
+	rate float64
+	inc  float64
+	snap *cwnd //hpcclint:nosnap snapshot slot
+}
+
+func (c *cwnd) Checkpoint() { *c.snap = *c }
+
+func (c *cwnd) Rollback() { *c = *c.snap }
+
+type half struct { // want `half has Checkpoint but no Rollback`
+	v int
+}
+
+func (h *half) Checkpoint() { h.v++ }

@@ -1,0 +1,14 @@
+// Package time is a fixture stand-in for the real std package: the
+// analyzers match callees by package path and name only, so this fake
+// lets testdata packages type-check without std export data.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }
+
+func (t Time) Sub(u Time) Duration { return Duration(t.ns - u.ns) }

@@ -55,17 +55,17 @@ func (f *fifo[T]) len() int { return len(f.buf) - f.head }
 // honors per-priority PFC pause, and keeps the counters INT exposes
 // (cumulative tx bytes) plus pause-time statistics.
 type Port struct {
-	eng   *sim.Engine
-	owner Node
-	peer  Node
+	eng   *sim.Engine //hpcclint:nosnap immutable wiring
+	owner Node        //hpcclint:nosnap immutable wiring
+	peer  Node        //hpcclint:nosnap immutable wiring
 	// peerPort is the reverse-direction port at the peer. An arriving
 	// packet is delivered as peer.HandleArrival(p, peerPort), so the
 	// receiver can identify its ingress and reach back upstream (PFC).
-	peerPort *Port
+	peerPort *Port //hpcclint:nosnap immutable wiring
 
-	index int // position in owner's port list
-	rate  sim.Rate
-	delay sim.Time
+	index int      //hpcclint:nosnap immutable; position in owner's port list
+	rate  sim.Rate //hpcclint:nosnap immutable link config
+	delay sim.Time //hpcclint:nosnap immutable link config
 
 	// wireKey is the directed link's build-time structural ID — the
 	// canonical rank class of this wire's delivery events (see
@@ -73,7 +73,7 @@ type Port struct {
 	// simultaneous deliveries into one node fire in an order derivable
 	// from the topology alone, identically on one engine or N shards.
 	// Zero (hand-wired fabrics) falls back to scheduling order.
-	wireKey uint64
+	wireKey uint64 //hpcclint:nosnap immutable build-time structural ID
 
 	queues [NumPrio]fifo[entry]
 	qBytes [NumPrio]int64
@@ -88,15 +88,15 @@ type Port struct {
 	// path schedules no fresh closures at all.
 	wire      fifo[wireEntry]
 	wireArmed bool
-	deliverFn func()
-	txDoneFn  func()
+	deliverFn func() //hpcclint:nosnap reusable closure built once at wiring time
+	txDoneFn  func() //hpcclint:nosnap reusable closure built once at wiring time
 
 	// remote, when set, marks this transmitter as a shard-boundary
 	// port: instead of riding the local wire, a serialized packet is
 	// handed to remote with its (deterministic) arrival instant, and
 	// the shard exchange delivers it into the peer's engine at an epoch
 	// barrier. Serialization, pacing and INT accounting stay local.
-	remote func(p *packet.Packet, arrive sim.Time)
+	remote func(p *packet.Packet, arrive sim.Time) //hpcclint:nosnap immutable shard wiring; the exchange buffer is checkpointed by the speculator
 
 	txBytes uint64          // cumulative bytes fully handed to the serializer
 	rxQ     [NumPrio]uint64 // cumulative bytes enqueued, per priority (INT rxRate ablation)
@@ -110,7 +110,7 @@ type Port struct {
 
 	// pauseHook, if set, observes every pause/resume transition of this
 	// transmitter (the observer layer's PFC event stream).
-	pauseHook func(prio uint8, paused bool)
+	pauseHook func(prio uint8, paused bool) //hpcclint:nosnap observer callback installed at setup
 
 	// snap is the speculative-execution checkpoint slot (see
 	// checkpoint.go); allocated lazily so non-speculative runs pay
@@ -245,6 +245,8 @@ func (pt *Port) SetPaused(prio uint8, pause bool) {
 
 // Enqueue queues p at its priority for transmission. ingress is the
 // owner's port index the packet arrived on (-1 if locally generated).
+//
+//hpcclint:alloc-free
 func (pt *Port) Enqueue(p *packet.Packet, ingress int) {
 	prio := p.Prio
 	pt.queues[prio].push(entry{p, ingress})
@@ -258,6 +260,8 @@ func (pt *Port) Enqueue(p *packet.Packet, ingress int) {
 
 // kick starts the transmitter if it is idle and an eligible (unpaused,
 // nonempty) priority queue exists. Strict priority: lower index first.
+//
+//hpcclint:alloc-free
 func (pt *Port) kick() {
 	if pt.busy {
 		return
@@ -280,7 +284,7 @@ func (pt *Port) kick() {
 	pt.owner.OnDequeue(e.p, e.ingress, pt)
 
 	txTime := pt.rate.TxTime(int(e.p.Size))
-	pt.eng.After(txTime, pt.txDoneFn)
+	pt.eng.After(txTime, pt.txDoneFn) //hpcclint:allow eventkey -- tx-complete is engine-local to this port; it never races a cross-shard arrival at the same picosecond
 	if pt.remote != nil {
 		pt.remote(e.p, pt.eng.Now()+txTime+pt.delay)
 		return
@@ -296,6 +300,8 @@ func (pt *Port) kick() {
 // single wire event for the next in-flight packet, if any. Serialization
 // intervals never overlap and the propagation delay is constant, so wire
 // arrival times are nondecreasing in push order.
+//
+//hpcclint:alloc-free
 func (pt *Port) deliver() {
 	e := pt.wire.pop()
 	if pt.wire.empty() {

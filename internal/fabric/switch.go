@@ -77,14 +77,14 @@ func (c *SwitchConfig) Normalize() {
 // Switch is a shared-buffer output-queued switch with ECMP routing,
 // optional PFC, WRED/ECN and INT stamping.
 type Switch struct {
-	id   NodeID
-	eng  *sim.Engine
-	cfg  SwitchConfig
-	rng  *rand.Rand
-	pool *packet.Pool
+	id   NodeID       //hpcclint:nosnap immutable identity
+	eng  *sim.Engine  //hpcclint:nosnap immutable wiring
+	cfg  SwitchConfig //hpcclint:nosnap immutable config
+	rng  *rand.Rand   //hpcclint:nosnap WRED/ECN stream; speculation is refused for RNG fabrics up front (UsesRNG)
+	pool *packet.Pool //hpcclint:nosnap shared pool checkpointed as its own component
 
-	ports  []*Port
-	routes map[NodeID][]int // destination host -> candidate egress port indices
+	ports  []*Port          //hpcclint:nosnap immutable wiring; each port checkpoints itself
+	routes map[NodeID][]int //hpcclint:nosnap immutable routing table built at wiring time
 
 	used      int64 // shared buffer bytes in use (data priorities)
 	ingressB  [][NumPrio]int64

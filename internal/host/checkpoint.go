@@ -83,6 +83,7 @@ type hostSnap struct {
 // dumpKVs appends m's entries to buf, returning their (offset, count).
 func dumpKVs(buf *[]seqKV, m map[int64]int32) (off, n int) {
 	off = len(*buf)
+	//hpcclint:allow determinism -- snapshot dump restored via restoreKVs into a map; entry order never observed
 	for k, v := range m {
 		*buf = append(*buf, seqKV{k, v})
 	}
@@ -127,12 +128,14 @@ func (h *Host) Checkpoint() {
 	s.live = append(s.live[:0], h.liveList...)
 
 	s.recvs = s.recvs[:0]
+	//hpcclint:allow determinism -- snapshot restored back through per-entry pointers; order never observed
 	for id, rs := range h.recv {
 		r := recvSnap{id: id, ptr: rs, val: *rs}
 		r.oooOff, r.oooN = dumpKVs(&s.kvs, rs.ooo)
 		s.recvs = append(s.recvs, r)
 	}
 	s.reads = s.reads[:0]
+	//hpcclint:allow determinism -- snapshot restored back through per-entry pointers; order never observed
 	for id, pr := range h.reads {
 		s.reads = append(s.reads, readSnap{id: id, ptr: pr, val: *pr})
 	}

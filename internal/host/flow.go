@@ -118,6 +118,7 @@ func (f *Flow) window() float64 {
 func (f *Flow) nextChunk() (seq int64, payload int32, isRtx bool) {
 	if len(f.rtx) > 0 {
 		seq = math.MaxInt64
+		//hpcclint:allow determinism -- min-scan; the minimum key is order-independent
 		for s := range f.rtx {
 			if s < seq {
 				seq = s
@@ -219,6 +220,8 @@ func (f *Flow) armSendTimer() {
 }
 
 // handleAck processes a cumulative (and, under IRN, selective) ACK.
+//
+//hpcclint:alloc-free
 func (f *Flow) handleAck(p *packet.Packet) {
 	if f.done {
 		return

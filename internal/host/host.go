@@ -94,12 +94,12 @@ func (c *Config) normalize() {
 
 // Host is a server endpoint with one or more NIC ports.
 type Host struct {
-	id    fabric.NodeID
-	eng   *sim.Engine
-	cfg   Config
-	pool  *packet.Pool
-	ports []*fabric.Port
-	flows map[int32]*Flow
+	id    fabric.NodeID   //hpcclint:nosnap immutable identity
+	eng   *sim.Engine     //hpcclint:nosnap immutable wiring
+	cfg   Config          //hpcclint:nosnap immutable config
+	pool  *packet.Pool    //hpcclint:nosnap shared pool checkpointed as its own component
+	ports []*fabric.Port  //hpcclint:nosnap immutable wiring; each port checkpoints itself
+	flows map[int32]*Flow //hpcclint:nosnap membership journaled via jAdded/jRemoved; live values snapshotted via liveList
 	recv  map[int32]*recvState
 
 	// RDMA READ requester state: flow ID -> (expected bytes, callback).
@@ -139,7 +139,7 @@ type Host struct {
 	// in O(changes).
 	liveList  []*Flow
 	liveWraps []*schedWrap
-	journal   bool
+	journal   bool //hpcclint:nosnap checkpoint-mode flag flipped by Checkpoint itself, not simulated state
 	jAdded    []*Flow
 	jRemoved  []*Flow
 	snap      *hostSnap

@@ -114,8 +114,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	sched   Scheduler
-	live    int // queued events that are not cancelled tombstones
-	stopped bool
+	live    int      // queued events that are not cancelled tombstones
+	stopped bool     //hpcclint:nosnap transient Stop flag; only ever true inside Run, never at a checkpoint barrier (Rollback clears it)
 	pool    []*Event // freelist for fired events
 	fired   uint64
 	snap    engineSnap

@@ -149,7 +149,7 @@ func (w *shardWorkers) do(op shardOp) {
 // run fans out an engine-run op and accounts its wall time as
 // concurrent work.
 func (g *ShardGroup) run(w *shardWorkers, op shardOp) {
-	t0 := time.Now()
+	t0 := time.Now() //hpcclint:allow determinism -- wall-clock metering for SyncStats overhead accounting; never feeds back into simulated state
 	w.do(op)
 	g.Stats.WorkNS += time.Since(t0).Nanoseconds()
 }
@@ -190,13 +190,14 @@ func (g *ShardGroup) RunUntil(deadline Time) error {
 		return errors.New("sim: ShardGroup.Speculate requires a Speculator")
 	}
 
-	start := time.Now()
+	start := time.Now() //hpcclint:allow determinism -- wall-clock metering for SyncStats overhead accounting; never feeds back into simulated state
 	defer func() { g.Stats.TotalNS = time.Since(start).Nanoseconds() }()
 
 	w := &shardWorkers{cmds: make([]chan shardOp, len(g.Engines))}
 	for i, e := range g.Engines {
 		ch := make(chan shardOp, 1)
 		w.cmds[i] = ch
+		//hpcclint:allow determinism -- one long-lived worker per engine; the barrier protocol serializes all cross-engine effects
 		go func(i int, e *Engine, ch chan shardOp) {
 			for m := range ch {
 				switch m.kind {

@@ -9,11 +9,11 @@ import (
 // interval, building the queue-length distributions of Figures 9f/10b/
 // 10d and the time series of Figures 9a–d/13b.
 type QueueMonitor struct {
-	eng      *sim.Engine
-	ports    []*fabric.Port
-	prio     uint8
-	interval sim.Time
-	until    sim.Time
+	eng      *sim.Engine    //hpcclint:nosnap immutable wiring
+	ports    []*fabric.Port //hpcclint:nosnap immutable wiring
+	prio     uint8          //hpcclint:nosnap immutable config
+	interval sim.Time       //hpcclint:nosnap immutable config
+	until    sim.Time       //hpcclint:nosnap immutable config
 
 	// Samples holds the retained per-port observations (bytes), pooled.
 	Samples []float64
@@ -25,7 +25,7 @@ type QueueMonitor struct {
 	// QueueObserver ride. Set it right after NewQueueMonitor; the first
 	// tick fires one interval later. Streaming sees every tick,
 	// regardless of SampleCap.
-	OnSample func(TimePoint)
+	OnSample func(TimePoint) //hpcclint:nosnap observer callback installed at setup
 
 	// Sketch mode (EnableSketch): per-port depth observations stream
 	// into a mergeable quantile sketch instead of the Samples/Series
@@ -40,8 +40,8 @@ type QueueMonitor struct {
 	// window's depth summary plus the cumulative one, then the window
 	// resets. Works in either retention mode (the window itself is
 	// always a sketch); set both right after NewQueueMonitor.
-	FlushEvery int
-	OnFlush    func(QueueFlush)
+	FlushEvery int              //hpcclint:nosnap immutable config
+	OnFlush    func(QueueFlush) //hpcclint:nosnap observer callback installed at setup
 	winTicks   int
 	winStart   sim.Time
 
@@ -56,7 +56,7 @@ type QueueMonitor struct {
 	// same instants as a single whole-fabric monitor (the sharded
 	// byte-identity contract). Set it right after NewQueueMonitor.
 	// Zero (the default) retains every tick.
-	SampleCap int
+	SampleCap int    //hpcclint:nosnap immutable config set before the run
 	stride    uint64 // tick keep-stride (power of two; 0 until first tick)
 	ticks     uint64 // absolute tick counter
 

@@ -20,9 +20,9 @@ import "math"
 // (including zero and negatives) are counted in a dedicated zero bucket
 // and only influence quantiles through the exact Min.
 type Sketch struct {
-	gamma   float64 // (1+α)/(1-α)
-	invLogG float64 // 1 / ln(gamma)
-	maxBins int     // collapse bound on len(bins)
+	gamma   float64 //hpcclint:nosnap immutable; derived from α at construction: (1+α)/(1-α)
+	invLogG float64 //hpcclint:nosnap immutable; 1 / ln(gamma)
+	maxBins int     //hpcclint:nosnap immutable; collapse bound on len(bins)
 
 	// bins[i] counts values whose key is lo+i; a key k covers the value
 	// range (gamma^(k-1), gamma^k].
@@ -105,9 +105,13 @@ func (s *Sketch) value(k int) float64 {
 // Add inserts one value. Allocation-free once the value range has been
 // seen: the dense store only grows when a value lands outside the
 // current key span.
+//
+//hpcclint:alloc-free
 func (s *Sketch) Add(v float64) { s.AddN(v, 1) }
 
 // AddN inserts a value n times.
+//
+//hpcclint:alloc-free
 func (s *Sketch) AddN(v float64, n uint64) {
 	if n == 0 {
 		return

@@ -291,6 +291,7 @@ func (g GraphSpec) BaseRTT() sim.Time {
 		for {
 			var cur key
 			var best sim.Time = -1
+			//hpcclint:allow determinism -- Dijkstra extract-min; tied picks reorder the scan but final distances are order-independent
 			for k, d := range dist {
 				if !done[k] && (best < 0 || d < best) {
 					cur, best = k, d
@@ -307,6 +308,7 @@ func (g GraphSpec) BaseRTT() sim.Time {
 				}
 			}
 		}
+		//hpcclint:allow determinism -- max-reduction; the maximum is order-independent
 		for k, d := range dist {
 			if !k.sw && d > worst {
 				worst = d

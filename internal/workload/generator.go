@@ -223,9 +223,9 @@ func (spec RPCSpec) Install(nw *topology.Network, env Env) {
 			}
 		})
 		issued++
-		nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+		nw.Eng.AfterKey(sim.Time(rng.ExpFloat64()*meanGapPs), env.Key, arrive)
 	}
-	nw.Eng.After(sim.Time(rng.ExpFloat64()*meanGapPs), arrive)
+	nw.Eng.AfterKey(sim.Time(rng.ExpFloat64()*meanGapPs), env.Key, arrive)
 }
 
 // FlowSpec is one explicitly scheduled flow arrival.
