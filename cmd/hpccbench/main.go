@@ -6,7 +6,7 @@
 // trajectory (BENCH_PR2.json, BENCH_PR4.json and successors); CI runs
 // `-quick` as a smoke test and uploads the artifact.
 //
-// The FatTree scenario runs three ways: the default binary-heap
+// The FatTree scenario runs three ways: the default 4-ary-heap
 // scheduler, the calendar-queue scheduler, and sharded across
 // -shards engines (conservative-lookahead partitioning) — all three
 // produce byte-identical simulation results, so the numbers compare
@@ -15,13 +15,19 @@
 //
 // Usage:
 //
-//	hpccbench [-quick] [-paper] [-shards n] [-label name] [-out bench.json] [-baseline old.json]
+//	hpccbench [-quick] [-paper] [-shards n] [-label name] [-out bench.json]
+//	          [-baseline old.json] [-perfbaseline old.json]
+//	          [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // With -baseline, the run fails (exit 1) if any scenario's
 // allocs/packet regresses materially against the same-named scenario
 // in the baseline file — the CI guard for the zero-allocation hot
-// path. Wall-clock numbers are machine-sensitive; allocs/packet is
-// deterministic and machine-independent.
+// path. -perfbaseline adds the throughput gate: packets/s may not
+// collapse and the deterministic events/port-packet ratio may not
+// grow (see gatePerf). Wall-clock numbers are machine-sensitive;
+// allocs/packet and events/port-packet are deterministic and
+// machine-independent. The -cpuprofile/-memprofile/-mutexprofile
+// flags (internal/prof) capture pprof profiles of the scenario runs.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"hpcc/internal/experiment"
 	"hpcc/internal/fabric"
 	"hpcc/internal/host"
+	"hpcc/internal/prof"
 	"hpcc/internal/sim"
 	"hpcc/internal/topology"
 	"hpcc/internal/workload"
@@ -44,19 +51,29 @@ import (
 
 // ScenarioResult is one scenario's measurement.
 type ScenarioResult struct {
-	Name            string  `json:"name"`
-	Shards          int     `json:"shards,omitempty"`
-	WallMS          float64 `json:"wall_ms"`
-	SimulatedMS     float64 `json:"simulated_ms"`
-	Events          uint64  `json:"events"`
-	EventsPerSec    float64 `json:"events_per_sec"`
-	DataPackets     uint64  `json:"data_packets"`
-	PortPackets     uint64  `json:"port_packets"`
-	PacketsPerSec   float64 `json:"packets_per_sec"`
-	Allocs          uint64  `json:"allocs"`
-	AllocsPerPacket float64 `json:"allocs_per_packet"`
-	BytesPerPacket  float64 `json:"bytes_per_packet"`
-	Flows           int     `json:"flows"`
+	Name        string  `json:"name"`
+	Shards      int     `json:"shards,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
+	SimulatedMS float64 `json:"simulated_ms"`
+	// PacketsPerSec (simulated data packets retired per wall second) is
+	// the headline throughput metric: unlike events/s it is not deflated
+	// when the scheduler learns to do the same work in fewer events —
+	// the lazy-port change cut the event count per packet by ~35%, which
+	// made events/s look flat while the simulator got nearly 2× faster.
+	DataPackets   uint64  `json:"data_packets"`
+	PortPackets   uint64  `json:"port_packets"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	// EventsPerPortPacket is the scheduling-efficiency ratio: engine
+	// events fired per port-level frame serialized. Deterministic (no
+	// wall clock in it), so it gates tightly — a rise means some path
+	// started scheduling events it doesn't need.
+	EventsPerPortPacket float64 `json:"events_per_port_packet,omitempty"`
+	Allocs              uint64  `json:"allocs"`
+	AllocsPerPacket     float64 `json:"allocs_per_packet"`
+	BytesPerPacket      float64 `json:"bytes_per_packet"`
+	Flows               int     `json:"flows"`
 	// RetainedStatBytes is the run's logical statistics retention
 	// (LoadResult.RetainedStatBytes): per-flow records plus queue
 	// samples in exact mode, sketch bucket arrays in streaming mode.
@@ -121,8 +138,15 @@ func main() {
 		label    = flag.String("label", "", "label recorded in the JSON output")
 		out      = flag.String("out", "", "write JSON to this file (default: stdout table only)")
 		baseline = flag.String("baseline", "", "prior bench JSON; exit 1 if allocs/packet regresses against it")
+		perfbase = flag.String("perfbaseline", "", "prior bench JSON; exit 1 if packets/s or events/port-packet regresses against it")
 	)
+	profiles := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccbench:", err)
+		os.Exit(1)
+	}
 
 	run := Run{Label: *label, Quick: *quick, GoVersion: runtime.Version(), Procs: runtime.GOMAXPROCS(0)}
 	add := func(name string, fn func() outcome) {
@@ -185,11 +209,18 @@ func main() {
 
 	run.Speedups = speedups(run.Scenarios)
 
-	fmt.Printf("%-34s %10s %12s %12s %14s %14s %10s %10s\n",
-		"scenario", "wall-ms", "events", "events/s", "data-pkts", "pkts/s", "allocs/pkt", "ret-bytes")
+	// Profiles cover the measured scenarios only: flush before the
+	// reporting and gate paths so their work doesn't pollute the data.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "hpccbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-34s %10s %14s %14s %12s %12s %11s %10s %10s\n",
+		"scenario", "wall-ms", "data-pkts", "pkts/s", "events", "events/s", "ev/port-pkt", "allocs/pkt", "ret-bytes")
 	for _, s := range run.Scenarios {
-		fmt.Printf("%-34s %10.1f %12d %12.0f %14d %14.0f %10.3f %10d\n",
-			s.Name, s.WallMS, s.Events, s.EventsPerSec, s.DataPackets, s.PacketsPerSec, s.AllocsPerPacket, s.RetainedStatBytes)
+		fmt.Printf("%-34s %10.1f %14d %14.0f %12d %12.0f %11.3f %10.3f %10d\n",
+			s.Name, s.WallMS, s.DataPackets, s.PacketsPerSec, s.Events, s.EventsPerSec, s.EventsPerPortPacket, s.AllocsPerPacket, s.RetainedStatBytes)
 	}
 	for _, sp := range run.Speedups {
 		fmt.Printf("speedup %-26s %10.2fx vs %s (%d shards, GOMAXPROCS %d)\n",
@@ -212,6 +243,12 @@ func main() {
 	}
 	if *baseline != "" {
 		if err := gateAllocs(run, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "hpccbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *perfbase != "" {
+		if err := gatePerf(run, *perfbase); err != nil {
 			fmt.Fprintln(os.Stderr, "hpccbench:", err)
 			os.Exit(1)
 		}
@@ -279,25 +316,36 @@ func speedups(rows []ScenarioResult) []Speedup {
 	return out
 }
 
-// gateAllocs compares allocs/packet per scenario against a baseline
-// file (either a bare Run or a {before, after} record like
-// BENCH_PR2.json, where "after" is the baseline). Wall-clock never
-// gates — only the deterministic allocation counts do. Baselines are
-// recorded from full runs; quick runs amortize fixed startup
-// allocations over far fewer packets, so the quick gate is looser.
-func gateAllocs(run Run, path string) error {
+// loadBaseline reads a prior bench JSON: either a bare Run or a
+// {before, after} record like BENCH_PR2.json, where "after" is the
+// baseline.
+func loadBaseline(path string) (Run, error) {
+	var base Run
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return base, err
 	}
 	var wrapped struct {
 		After *Run `json:"after"`
 	}
-	var base Run
 	if err := json.Unmarshal(buf, &wrapped); err == nil && wrapped.After != nil {
-		base = *wrapped.After
-	} else if err := json.Unmarshal(buf, &base); err != nil {
-		return fmt.Errorf("baseline %s: %v", path, err)
+		return *wrapped.After, nil
+	}
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return base, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return base, nil
+}
+
+// gateAllocs compares allocs/packet per scenario against a baseline
+// file. Wall-clock never gates here — only the deterministic
+// allocation counts do. Baselines are recorded from full runs; quick
+// runs amortize fixed startup allocations over far fewer packets, so
+// the quick gate is looser.
+func gateAllocs(run Run, path string) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
 	}
 	byName := map[string]ScenarioResult{}
 	for _, s := range base.Scenarios {
@@ -318,6 +366,50 @@ func gateAllocs(run Run, path string) error {
 		}
 	}
 	fmt.Printf("allocs/packet gate vs %s: ok\n", path)
+	return nil
+}
+
+// gatePerf is the throughput-regression gate introduced with the
+// demand-driven scheduling work (BENCH_PR9.json). It checks two
+// numbers per scenario:
+//
+//   - packets/s, loosely: wall-clock throughput is machine- and
+//     load-sensitive (CI smoke runs share one noisy vCPU), so the gate
+//     only catches collapses — half the baseline within the same mode,
+//     a quarter when a quick run gates against a full baseline (quick
+//     runs amortize startup over far fewer packets).
+//   - events/port-packet, tightly: the ratio is deterministic, so any
+//     real increase means a code path started scheduling events it
+//     used to skip. Same-mode slack is 5%; cross-mode 20% (shorter
+//     runs spend proportionally more events on arrivals/teardown).
+func gatePerf(run Run, path string) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
+	}
+	byName := map[string]ScenarioResult{}
+	for _, s := range base.Scenarios {
+		byName[s.Name] = s
+	}
+	ppsFloor, evSlack := 0.5, 1.05
+	if run.Quick != base.Quick {
+		ppsFloor, evSlack = 0.25, 1.20
+	}
+	for _, s := range run.Scenarios {
+		b, ok := byName[s.Name]
+		if !ok {
+			continue
+		}
+		if floor := b.PacketsPerSec * ppsFloor; b.PacketsPerSec > 0 && s.PacketsPerSec < floor {
+			return fmt.Errorf("packets/s collapse in %s: %.0f < floor %.0f (baseline %.0f)",
+				s.Name, s.PacketsPerSec, floor, b.PacketsPerSec)
+		}
+		if limit := b.EventsPerPortPacket * evSlack; b.EventsPerPortPacket > 0 && s.EventsPerPortPacket > limit {
+			return fmt.Errorf("events/port-packet regression in %s: %.3f > limit %.3f (baseline %.3f); something schedules events it doesn't need",
+				s.Name, s.EventsPerPortPacket, limit, b.EventsPerPortPacket)
+		}
+	}
+	fmt.Printf("packets/s + events/port-packet gate vs %s: ok\n", path)
 	return nil
 }
 
@@ -361,6 +453,9 @@ func measure(name string, fn func() outcome) ScenarioResult {
 	if r.DataPackets > 0 {
 		r.AllocsPerPacket = float64(allocs) / float64(r.DataPackets)
 		r.BytesPerPacket = float64(bytes) / float64(r.DataPackets)
+	}
+	if r.PortPackets > 0 {
+		r.EventsPerPortPacket = float64(r.Events) / float64(r.PortPackets)
 	}
 	return r
 }

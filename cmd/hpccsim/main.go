@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hpcc"
+	"hpcc/internal/prof"
 )
 
 func main() {
@@ -39,7 +40,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		asJSON   = flag.Bool("json", false, "emit the result as one JSON document")
 	)
+	profiles := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccsim:", err)
+		os.Exit(1)
+	}
 
 	lossless := !*lossy
 	res, err := hpcc.Run(hpcc.SimConfig{
@@ -61,6 +68,11 @@ func main() {
 		Seed:              *seed,
 	})
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccsim:", err)
+		os.Exit(1)
+	}
+	// Profiles cover the simulation itself; flush before reporting.
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hpccsim:", err)
 		os.Exit(1)
 	}

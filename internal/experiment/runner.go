@@ -105,8 +105,8 @@ type LoadScenario struct {
 	// (time, key, seq) event rank (see hpcc.Experiment.Shards).
 	Shards int
 	// Calendar selects the calendar-queue event scheduler instead of the
-	// binary heap — same fire order (so identical results), better
-	// constants with >100K pending events.
+	// default 4-ary heap — same fire order (so identical results),
+	// better constants with >100K pending events.
 	Calendar bool
 	// Speculate requests optimistic shard synchronization on sharded
 	// runs: every shard checkpoints at the epoch barrier, runs past the

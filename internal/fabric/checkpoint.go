@@ -36,8 +36,11 @@ type wireSnap struct {
 type portSnap struct {
 	queues      [NumPrio][]entrySnap
 	qBytes      [NumPrio]int64
+	totQBytes   int64
 	paused      [NumPrio]bool
-	busy        bool
+	busyUntil   sim.Time
+	kickArmed   bool
+	kickEv      sim.Timer
 	wire        []wireSnap
 	wireArmed   bool
 	txBytes     uint64
@@ -50,11 +53,14 @@ type portSnap struct {
 }
 
 // Checkpoint captures the port's mutable state — priority queues and
-// the wire with deep packet copies, pause state, and counters —
+// the wire with deep packet copies, pause state, lazy-service state
+// (busyUntil, the deferred-kick arm and its timer handle) and counters —
 // overwriting the previous checkpoint. The port's scheduled events
-// (tx-complete, wire delivery) are engine state and are checkpointed
-// there; busy/wireArmed are restored consistently because both
-// snapshots are taken at the same barrier.
+// (deferred kick, wire delivery) are engine state and are checkpointed
+// there; kickArmed/wireArmed are restored consistently because both
+// snapshots are taken at the same barrier, and the kickEv handle stays
+// valid across rollback because the engine restores pending events in
+// place through their original pointers (same struct, same generation).
 func (pt *Port) Checkpoint() {
 	s := pt.snap
 	if s == nil {
@@ -74,8 +80,11 @@ func (pt *Port) Checkpoint() {
 		s.wire = append(s.wire, wireSnap{p: e.p, val: *e.p, at: e.at})
 	}
 	s.qBytes = pt.qBytes
+	s.totQBytes = pt.totQBytes
 	s.paused = pt.paused
-	s.busy = pt.busy
+	s.busyUntil = pt.busyUntil
+	s.kickArmed = pt.kickArmed
+	s.kickEv = pt.kickEv
 	s.wireArmed = pt.wireArmed
 	s.txBytes = pt.txBytes
 	s.rxQ = pt.rxQ
@@ -117,8 +126,11 @@ func (pt *Port) Rollback() {
 		w.buf = append(w.buf, wireEntry{ws.p, ws.at})
 	}
 	pt.qBytes = s.qBytes
+	pt.totQBytes = s.totQBytes
 	pt.paused = s.paused
-	pt.busy = s.busy
+	pt.busyUntil = s.busyUntil
+	pt.kickArmed = s.kickArmed
+	pt.kickEv = s.kickEv
 	pt.wireArmed = s.wireArmed
 	pt.txBytes = s.txBytes
 	pt.rxQ = s.rxQ

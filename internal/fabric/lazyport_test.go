@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"testing"
+
+	"hpcc/internal/packet"
+	"hpcc/internal/sim"
+)
+
+// Directed coverage for demand-driven (lazy) port service: a port must
+// schedule engine events only while it has frames to move, and the
+// same-picosecond races between the deferred kick, user enqueues, and
+// PFC pause/resume must resolve to the exact timing the eager
+// tx-complete chain produced.
+
+// A drained port leaves nothing in the engine: one packet costs exactly
+// one scheduled event (the wire delivery) — serialization is inline at
+// enqueue time and no tx-complete or idle-poll event survives the
+// drain.
+func TestLazyPortNoIdleEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1)
+	if got := eng.Pending(); got != 1 {
+		t.Fatalf("pending after enqueue = %d, want 1 (wire delivery only)", got)
+	}
+	eng.Run()
+	if len(b.got) != 1 {
+		t.Fatalf("arrivals = %d, want 1", len(b.got))
+	}
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("events fired = %d, want 1", got)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+}
+
+// Back-to-back frames through the deferred kick: the second frame's
+// serialization must begin exactly at the first's busyUntil — lazy
+// service may not open an idle gap on a backlogged port.
+func TestLazyKickBackToBack(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1)
+	ab.Enqueue(data(1, 1, 2, 1000, 1064), -1)
+	eng.Run()
+	ser := sim.Gbps.TxTime(1064)
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(b.got))
+	}
+	if b.got[0].at != ser || b.got[1].at != 2*ser {
+		t.Fatalf("arrivals at %v, %v; want %v, %v", b.got[0].at, b.got[1].at, ser, 2*ser)
+	}
+}
+
+// An enqueue landing at exactly busyUntil on a port whose queue just
+// drained must serialize immediately (now >= busyUntil) — no deferred
+// kick exists to beat it, and no idle gap may open.
+func TestEnqueueAtBusyUntilTie(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ser := sim.Gbps.TxTime(1064)
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1)
+	eng.At(ser, func() { ab.Enqueue(data(1, 1, 2, 1000, 1064), -1) })
+	eng.Run()
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(b.got))
+	}
+	if b.got[1].at != 2*ser {
+		t.Fatalf("second arrival at %v, want %v (back-to-back)", b.got[1].at, 2*ser)
+	}
+}
+
+// The redundant-kick cancellation: a kick is armed for a queued frame,
+// but an earlier-sequenced event at the same picosecond enqueues and
+// serializes first. The armed kick must be cancelled, not left to fire
+// mid-frame — frames stay strictly FIFO at exact serialization
+// boundaries.
+func TestStaleKickCancelledAtTie(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ser := sim.Gbps.TxTime(1064)
+	// Scheduled before the enqueues, so at t=ser this event sequences
+	// ahead of the deferred kick armed during the first serialization.
+	eng.At(ser, func() { ab.Enqueue(data(1, 1, 2, 2000, 1064), -1) })
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1)
+	ab.Enqueue(data(1, 1, 2, 1000, 1064), -1)
+	eng.Run()
+	if len(b.got) != 3 {
+		t.Fatalf("arrivals = %d, want 3", len(b.got))
+	}
+	for i, want := range []sim.Time{ser, 2 * ser, 3 * ser} {
+		if b.got[i].at != want {
+			t.Fatalf("arrival %d at %v, want %v (got %v)", i, b.got[i].at, want, b.got)
+		}
+	}
+	// FIFO: the tie-enqueued frame (seq 2000) serializes last.
+	if b.got[2].p.Seq != 2000 {
+		t.Fatalf("tie-enqueued frame out of order: seqs %d %d %d",
+			b.got[0].p.Seq, b.got[1].p.Seq, b.got[2].p.Seq)
+	}
+}
+
+// A kick that fires into a paused priority does not serialize and does
+// not re-arm; the later resume must restart service itself, even when
+// it lands after the port has long gone idle.
+func TestPausedKickThenLateResume(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ser := sim.Gbps.TxTime(1064)
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1)
+	ab.Enqueue(data(1, 1, 2, 1000, 1064), -1)
+	ab.SetPaused(PrioData, true) // the kick at ser will find data paused
+	eng.At(3*ser, func() { ab.SetPaused(PrioData, false) })
+	eng.Run()
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(b.got))
+	}
+	if b.got[1].at != 4*ser {
+		t.Fatalf("post-resume arrival at %v, want %v", b.got[1].at, 4*ser)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+}
+
+// Resume at exactly busyUntil: SetPaused(false) lands at the same
+// picosecond the in-flight frame completes. The resume kick sees
+// now >= busyUntil and serializes immediately — no idle gap, no
+// duplicate kick left armed.
+func TestResumeAtBusyUntilTie(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	ser := sim.Gbps.TxTime(1064)
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1) // serializing until ser
+	ab.Enqueue(data(1, 1, 2, 1000, 1064), -1)
+	ab.SetPaused(PrioData, true)
+	eng.At(ser, func() { ab.SetPaused(PrioData, false) })
+	eng.Run()
+	if len(b.got) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(b.got))
+	}
+	if b.got[1].at != 2*ser {
+		t.Fatalf("resumed arrival at %v, want %v (no idle gap)", b.got[1].at, 2*ser)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+}
+
+// TotalQueueBytes is now a running sum; it must track the per-priority
+// breakdown through enqueues, serializations and a checkpoint/rollback
+// cycle.
+func TestTotalQueueBytesRunningSum(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &mockHost{id: 1, eng: eng}
+	b := &mockHost{id: 2, eng: eng}
+	ab, _ := Connect(eng, a, b, 0, 0, sim.Gbps, 0)
+	a.ports = append(a.ports, ab)
+
+	check := func(label string) {
+		t.Helper()
+		var want int64
+		for prio := 0; prio < NumPrio; prio++ {
+			want += ab.QueueBytes(uint8(prio))
+		}
+		if got := ab.TotalQueueBytes(); got != want {
+			t.Fatalf("%s: TotalQueueBytes = %d, per-prio sum = %d", label, got, want)
+		}
+	}
+	ab.Enqueue(data(1, 1, 2, 0, 1064), -1) // serializes inline, not queued
+	ab.Enqueue(data(1, 1, 2, 1000, 1064), -1)
+	ab.Enqueue(&packet.Packet{Type: packet.Ack, Src: 1, Dst: 2, Prio: PrioCtrl, Size: 64}, -1)
+	check("after enqueues")
+	queued := ab.TotalQueueBytes()
+	eng.Checkpoint()
+	ab.Checkpoint()
+	eng.Run()
+	check("after drain")
+	if got := ab.TotalQueueBytes(); got != 0 {
+		t.Fatalf("drained TotalQueueBytes = %d, want 0", got)
+	}
+	eng.Rollback()
+	ab.Rollback()
+	check("after rollback")
+	if got := ab.TotalQueueBytes(); got != queued {
+		t.Fatalf("rolled-back TotalQueueBytes = %d, want %d", got, queued)
+	}
+	eng.Run()
+	if len(b.got) != 2*3 {
+		t.Fatalf("arrivals after replay = %d, want 6 (3 + replayed 3)", len(b.got))
+	}
+}

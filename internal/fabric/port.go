@@ -75,10 +75,25 @@ type Port struct {
 	// Zero (hand-wired fabrics) falls back to scheduling order.
 	wireKey uint64 //hpcclint:nosnap immutable build-time structural ID
 
-	queues [NumPrio]fifo[entry]
-	qBytes [NumPrio]int64
-	paused [NumPrio]bool
-	busy   bool
+	queues    [NumPrio]fifo[entry]
+	qBytes    [NumPrio]int64
+	totQBytes int64 // running sum of qBytes; kept so Enqueue's high-water update is O(1)
+	paused    [NumPrio]bool
+
+	// Lazy service state. The transmitter owns no standing tx-complete
+	// event: busyUntil records when the frame being serialized (if any)
+	// leaves the wire, and service resumes either inline — a kick at
+	// now >= busyUntil serializes immediately — or through at most one
+	// deferred kick armed at the frame boundary. The deferred kick is
+	// armed at serialization time when more packets are already queued
+	// (exactly where the eager per-packet tx-complete event used to be
+	// scheduled), or by the first mid-frame Enqueue/resume when the
+	// queue had drained; a busy period that ends with empty queues
+	// schedules nothing at all, which eliminates up to one engine event
+	// per packet at low-to-mid load.
+	busyUntil sim.Time
+	kickArmed bool
+	kickEv    sim.Timer
 
 	// wire holds packets whose serialization finished (or is finishing)
 	// but which have not yet propagated to the peer. The link delay is
@@ -89,7 +104,7 @@ type Port struct {
 	wire      fifo[wireEntry]
 	wireArmed bool
 	deliverFn func() //hpcclint:nosnap reusable closure built once at wiring time
-	txDoneFn  func() //hpcclint:nosnap reusable closure built once at wiring time
+	kickFn    func() //hpcclint:nosnap reusable closure built once at wiring time
 
 	// remote, when set, marks this transmitter as a shard-boundary
 	// port: instead of riding the local wire, a serialized packet is
@@ -136,7 +151,7 @@ func (pt *Port) SetRemote(fn func(p *packet.Packet, arrive sim.Time)) {
 // Rebind moves the port's event scheduling onto another engine — the
 // shard-partitioning step. Must happen before any traffic flows.
 func (pt *Port) Rebind(eng *sim.Engine) {
-	if pt.busy || !pt.wire.empty() {
+	if pt.kickArmed || !pt.wire.empty() || pt.eng.Now() < pt.busyUntil {
 		panic("fabric: Rebind with packets in flight")
 	}
 	pt.eng = eng
@@ -144,8 +159,9 @@ func (pt *Port) Rebind(eng *sim.Engine) {
 
 func newPort(eng *sim.Engine, owner Node, index int, rate sim.Rate, delay sim.Time) *Port {
 	pt := &Port{eng: eng, owner: owner, index: index, rate: rate, delay: delay}
-	pt.txDoneFn = func() {
-		pt.busy = false
+	pt.kickFn = func() {
+		pt.kickArmed = false
+		pt.kickEv = sim.Timer{}
 		pt.kick()
 	}
 	pt.deliverFn = pt.deliver
@@ -184,14 +200,9 @@ func (pt *Port) QueueBytes(prio uint8) int64 { return pt.qBytes[prio] }
 // QueueLen returns the number of packets queued at priority prio.
 func (pt *Port) QueueLen(prio uint8) int { return pt.queues[prio].len() }
 
-// TotalQueueBytes returns the bytes queued across all priorities.
-func (pt *Port) TotalQueueBytes() int64 {
-	var t int64
-	for _, b := range pt.qBytes {
-		t += b
-	}
-	return t
-}
+// TotalQueueBytes returns the bytes queued across all priorities
+// (maintained as a running sum; O(1)).
+func (pt *Port) TotalQueueBytes() int64 { return pt.totQBytes }
 
 // TxBytes returns the cumulative transmitted byte counter (the INT
 // txBytes field).
@@ -251,19 +262,34 @@ func (pt *Port) Enqueue(p *packet.Packet, ingress int) {
 	prio := p.Prio
 	pt.queues[prio].push(entry{p, ingress})
 	pt.qBytes[prio] += int64(p.Size)
+	pt.totQBytes += int64(p.Size)
 	pt.rxQ[prio] += uint64(p.Size)
-	if t := pt.TotalQueueBytes(); t > pt.maxQBytes {
-		pt.maxQBytes = t
+	if pt.totQBytes > pt.maxQBytes {
+		pt.maxQBytes = pt.totQBytes
 	}
 	pt.kick()
 }
 
-// kick starts the transmitter if it is idle and an eligible (unpaused,
-// nonempty) priority queue exists. Strict priority: lower index first.
+// kick services the transmitter. Mid-frame (now < busyUntil) it arms at
+// most one deferred kick at the frame boundary and returns; otherwise
+// it serializes the head of the highest eligible (unpaused, nonempty)
+// priority queue — strict priority, lower index first — and, when more
+// packets remain queued, re-arms the deferred kick for the new frame's
+// end, exactly when the eager per-packet tx-complete event used to
+// fire. A drained queue arms nothing: the next Enqueue or PFC resume
+// restarts service, inline when the frame has already ended.
 //
 //hpcclint:alloc-free
 func (pt *Port) kick() {
-	if pt.busy {
+	now := pt.eng.Now()
+	if now < pt.busyUntil {
+		// Queues empty (a PFC resume on a drained port): nothing will be
+		// serviceable at the frame boundary either — every path that
+		// adds work or eligibility (Enqueue, a later resume) kicks again.
+		if !pt.kickArmed && pt.totQBytes > 0 {
+			pt.kickArmed = true
+			pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- frame-boundary kick is engine-local to this port; it never races a cross-shard arrival at the same picosecond
+		}
 		return
 	}
 	var prio int = -1
@@ -276,20 +302,31 @@ func (pt *Port) kick() {
 	if prio < 0 {
 		return
 	}
+	if pt.kickArmed {
+		// A kick armed for this very instant became redundant: another
+		// same-picosecond event (an Enqueue, a PFC resume) got here
+		// first. Cancel it so it cannot fire mid-frame and re-arm.
+		pt.kickArmed = false
+		pt.eng.Cancel(pt.kickEv)
+		pt.kickEv = sim.Timer{}
+	}
 	e := pt.queues[prio].pop()
 	pt.qBytes[prio] -= int64(e.p.Size)
-	pt.busy = true
+	pt.totQBytes -= int64(e.p.Size)
+	pt.busyUntil = now + pt.rate.TxTime(int(e.p.Size))
 	pt.txBytes += uint64(e.p.Size)
 	pt.pktsSent++
 	pt.owner.OnDequeue(e.p, e.ingress, pt)
 
-	txTime := pt.rate.TxTime(int(e.p.Size))
-	pt.eng.After(txTime, pt.txDoneFn) //hpcclint:allow eventkey -- tx-complete is engine-local to this port; it never races a cross-shard arrival at the same picosecond
+	if pt.totQBytes > 0 && !pt.kickArmed {
+		pt.kickArmed = true
+		pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- frame-boundary kick is engine-local to this port; it never races a cross-shard arrival at the same picosecond
+	}
 	if pt.remote != nil {
-		pt.remote(e.p, pt.eng.Now()+txTime+pt.delay)
+		pt.remote(e.p, pt.busyUntil+pt.delay)
 		return
 	}
-	pt.wire.push(wireEntry{e.p, pt.eng.Now() + txTime + pt.delay})
+	pt.wire.push(wireEntry{e.p, pt.busyUntil + pt.delay})
 	if !pt.wireArmed {
 		pt.wireArmed = true
 		pt.eng.AtKey(pt.wire.peek().at, pt.wireKey, pt.deliverFn)

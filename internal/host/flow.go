@@ -215,6 +215,15 @@ func (f *Flow) initTimers() {
 }
 
 func (f *Flow) armSendTimer() {
+	// Lazy re-arm: trySend runs on every ACK and CC tick, and nextSendAt
+	// only moves when a packet is emitted — so the pacer is usually
+	// already armed at exactly the right instant. Keeping that event
+	// avoids a cancel + re-push through the scheduler per ACK; the event
+	// that eventually fires is the same one, just with its original
+	// scheduling sequence.
+	if f.sendEv.Armed() && f.sendEv.When() == f.nextSendAt {
+		return
+	}
 	f.host.eng.Cancel(f.sendEv) // stale or zero handles are no-ops
 	f.sendEv = f.host.eng.At(f.nextSendAt, f.sendFn)
 }

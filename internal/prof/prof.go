@@ -1,0 +1,124 @@
+// Package prof is the repo's profiling harness: a small wrapper around
+// runtime/pprof that the binaries (hpccbench, hpccsim) expose as
+// -cpuprofile / -memprofile / -mutexprofile flags. It exists so the
+// perf trajectory the benchmarks record (BENCH_PR*.json) can always be
+// explained — every baseline bump comes with a profile that
+// `go tool pprof` can open, and CI archives the bench-smoke CPU
+// profile as an artifact.
+//
+// Usage in a main:
+//
+//	p := prof.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := p.Start()
+//	// ... simulation work ...
+//	err = stop() // flush profiles before reporting/exit paths
+//
+// Start is a no-op returning a no-op stop when no profile flag is set,
+// so the flags cost nothing when unused. The heap profile is written at
+// stop time after a forced GC, so it reflects retained memory rather
+// than transient garbage — the number the streaming-statistics work
+// cares about.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the profile destinations registered on a FlagSet.
+type Profiles struct {
+	cpu      string
+	mem      string
+	mutex    string
+	mutexFrc int
+}
+
+// RegisterFlags registers the profiling flags on fs and returns the
+// Profiles that will receive the parsed values. Call before fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile (post-GC, retained memory) to this file on exit")
+	fs.StringVar(&p.mutex, "mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	fs.IntVar(&p.mutexFrc, "mutexfraction", 5, "with -mutexprofile, sample 1 in this many contention events")
+	return p
+}
+
+// Started reports whether any profile flag was set, i.e. whether Start
+// will do real work.
+func (p *Profiles) Started() bool {
+	return p.cpu != "" || p.mem != "" || p.mutex != ""
+}
+
+// Start begins CPU profiling and arms mutex sampling as requested.
+// The returned stop flushes every requested profile; call it after the
+// measured work and before reporting or exiting. Stop is idempotent.
+// On error nothing is left running and stop is still safe to call.
+func (p *Profiles) Start() (stop func() error, err error) {
+	noop := func() error { return nil }
+	if !p.Started() {
+		return noop, nil
+	}
+	var cpuF *os.File
+	if p.cpu != "" {
+		cpuF, err = os.Create(p.cpu)
+		if err != nil {
+			return noop, fmt.Errorf("prof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return noop, fmt.Errorf("prof: start cpu profile: %v", err)
+		}
+	}
+	if p.mutex != "" {
+		runtime.SetMutexProfileFraction(p.mutexFrc)
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			keep(cpuF.Close())
+		}
+		if p.mutex != "" {
+			keep(writeProfile("mutex", p.mutex))
+			runtime.SetMutexProfileFraction(0)
+		}
+		if p.mem != "" {
+			// Flush transient garbage so the heap profile shows what the
+			// run actually retains.
+			runtime.GC()
+			keep(writeProfile("heap", p.mem))
+		}
+		if firstErr != nil {
+			return fmt.Errorf("prof: %v", firstErr)
+		}
+		return nil
+	}, nil
+}
+
+// writeProfile dumps one named runtime profile to path.
+func writeProfile(name, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -122,8 +122,9 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at zero, backed by the
-// default binary-heap scheduler.
-func NewEngine() *Engine { return NewEngineWith(NewHeap()) }
+// default 4-ary heap scheduler (order-identical to the binary heap and
+// the calendar queue; see Scheduler).
+func NewEngine() *Engine { return NewEngineWith(NewHeap4()) }
 
 // NewEngineWith returns an engine backed by the given scheduler (which
 // must be empty). Use NewCalendar for workloads holding >100K pending
@@ -232,6 +233,22 @@ func (e *Engine) PeekTime() (Time, bool) {
 	return ev.at, true
 }
 
+// fire executes a live event that has already been removed from the
+// scheduler — the shared tail of Step and the deadline-bounded run
+// loops.
+//
+//hpcclint:alloc-free
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	ev.gen++ // invalidate handles before fn can reschedule
+	e.live--
+	e.recycle(ev)
+	e.fired++
+	fn()
+}
+
 // Step fires the earliest pending event and returns true, or returns
 // false if the queue is empty.
 func (e *Engine) Step() bool {
@@ -244,14 +261,7 @@ func (e *Engine) Step() bool {
 			e.recycle(ev)
 			continue
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		ev.gen++ // invalidate handles before fn can reschedule
-		e.live--
-		e.recycle(ev)
-		e.fired++
-		fn()
+		e.fire(ev)
 		return true
 	}
 }
@@ -266,6 +276,11 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline remain
 // queued.
+//
+// Pop fast path: head() already discarded every tombstone ahead of the
+// live head, so the subsequent Pop is guaranteed to return exactly that
+// event — one tombstone-discard scan per fired event instead of the
+// head()-then-Step() double scan.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
@@ -273,7 +288,8 @@ func (e *Engine) RunUntil(deadline Time) {
 		if ev == nil || ev.at > deadline {
 			break
 		}
-		e.Step()
+		e.sched.Pop()
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -284,7 +300,7 @@ func (e *Engine) RunUntil(deadline Time) {
 // advances the clock to the deadline. It is the epoch primitive of
 // ShardGroup: an epoch [T, T+L) runs every event before the boundary
 // and leaves boundary-time events for the next epoch, after the
-// cross-shard exchange.
+// cross-shard exchange. Uses the same pop fast path as RunUntil.
 func (e *Engine) RunBefore(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
@@ -292,7 +308,8 @@ func (e *Engine) RunBefore(deadline Time) {
 		if ev == nil || ev.at >= deadline {
 			break
 		}
-		e.Step()
+		e.sched.Pop()
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -11,7 +11,8 @@ import (
 // able to cancel the reused event.
 func TestCancelStaleHandleABA(t *testing.T) {
 	for _, mk := range []func() *Engine{
-		NewEngine,
+		NewEngine, // 4-ary heap default
+		func() *Engine { return NewEngineWith(NewHeap()) },
 		func() *Engine { return NewEngineWith(NewCalendar()) },
 	} {
 		e := mk()
@@ -50,13 +51,16 @@ func TestCancelAfterFire(t *testing.T) {
 	}
 }
 
-// Property: under any random mix of keyed schedules and cancels, an
-// engine backed by the calendar queue fires exactly the same
-// (time, key, order) sequence as one backed by the heap. This is the
+// Property: under any random mix of keyed schedules, cancels, and
+// engine checkpoint/rollback cycles, engines backed by the binary heap
+// (the reference), the 4-ary heap (the default), and the calendar
+// queue fire exactly the same (time, key, order) sequence. This is the
 // scheduler-equivalence contract the sharded runner's byte-identical
 // results build on; the canonical key is drawn from all three bands
-// (ordinary 0, wire keys, arrival keys) with dense same-timestamp ties.
-func TestHeapCalendarEquivalence(t *testing.T) {
+// (ordinary 0, wire keys, arrival keys) with dense same-timestamp
+// ties, and the rollback leg drives each scheduler's Do (snapshot
+// walk) and Reset+Push (restore) paths mid-stream.
+func TestSchedulerEquivalence(t *testing.T) {
 	type fireRec struct {
 		at Time
 		id int
@@ -84,8 +88,8 @@ func TestHeapCalendarEquivalence(t *testing.T) {
 					schedule(e.Now() + gaps[rng.Intn(len(gaps))])
 				}
 				// Randomly cancel an old handle (often already fired —
-				// exercising stale-handle safety on both schedulers; the
-				// heap removes tied events eagerly, the calendar leaves
+				// exercising stale-handle safety on every scheduler; the
+				// heaps remove tied events eagerly, the calendar leaves
 				// tombstones, and the fire order must agree anyway).
 				if len(timers) > 0 && rng.Intn(3) == 0 {
 					e.Cancel(timers[rng.Intn(len(timers))])
@@ -95,22 +99,47 @@ func TestHeapCalendarEquivalence(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			schedule(Time(rng.Intn(2000)) * Nanosecond)
 		}
-		e.Run()
+		// Run in bounded slices with a checkpoint/rollback cycle between
+		// them: take a snapshot, run ahead a window, roll back (discarding
+		// the speculative firings), and replay the same window for keeps.
+		// The replayed sequence must be what a straight run produces, for
+		// every scheduler — the restore path re-pushes the pending set in
+		// arbitrary Do order, so this catches any ordering state a
+		// scheduler fails to rebuild.
+		for e.Pending() > 0 {
+			e.Checkpoint()
+			window := e.Now() + Time(1+rng.Intn(3000))*Nanosecond
+			mark := len(fired)
+			savedID, savedTimers := id, len(timers)
+			e.RunUntil(window)
+			fired = fired[:mark] // discard the speculative leg
+			id, timers = savedID, timers[:savedTimers]
+			e.Rollback()
+			e.RunUntil(window) // replay for keeps
+		}
 		return fired
 	}
 
 	f := func(seed int64) bool {
 		n := 400
-		a := run(NewEngine, seed, n)
-		b := run(func() *Engine { return NewEngineWith(NewCalendar()) }, seed, n)
-		if len(a) != len(b) {
-			t.Logf("seed %d: heap fired %d, calendar fired %d", seed, len(a), len(b))
-			return false
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Logf("seed %d: divergence at %d: heap %v calendar %v", seed, i, a[i], b[i])
+		ref := run(func() *Engine { return NewEngineWith(NewHeap()) }, seed, n)
+		for _, other := range []struct {
+			name string
+			mk   func() *Engine
+		}{
+			{"heap4", NewEngine},
+			{"calendar", func() *Engine { return NewEngineWith(NewCalendar()) }},
+		} {
+			got := run(other.mk, seed, n)
+			if len(got) != len(ref) {
+				t.Logf("seed %d: heap fired %d, %s fired %d", seed, len(ref), other.name, len(got))
 				return false
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Logf("seed %d: divergence at %d: heap %v %s %v", seed, i, ref[i], other.name, got[i])
+					return false
+				}
 			}
 		}
 		return true
@@ -167,7 +196,8 @@ func TestCanonicalKeyTieOrder(t *testing.T) {
 		name string
 		fn   func() *Engine
 	}{
-		{"heap", NewEngine},
+		{"heap4", NewEngine},
+		{"heap", func() *Engine { return NewEngineWith(NewHeap()) }},
 		{"calendar", func() *Engine { return NewEngineWith(NewCalendar()) }},
 	} {
 		e := mk.fn()
@@ -213,7 +243,8 @@ func BenchmarkSchedulers100K(b *testing.B) {
 		name string
 		mk   func() *Engine
 	}{
-		{"heap", NewEngine},
+		{"heap4", NewEngine},
+		{"heap", func() *Engine { return NewEngineWith(NewHeap()) }},
 		{"calendar", func() *Engine { return NewEngineWith(NewCalendar()) }},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
