@@ -16,6 +16,18 @@
 //     the canonical structural rank.
 //   - hotpathalloc: functions annotated //hpcclint:alloc-free contain
 //     no allocating constructs.
+//   - snapalias: Checkpoint methods deep-copy reference-typed state
+//     (maps, slices, pointed-to structs holding them) instead of
+//     aliasing the live simulation's storage into the snapshot.
+//
+// The determinism, eventkey and hotpathalloc analyzers are
+// interprocedural: a facts pass (facts.go, callgraph.go) computes
+// per-function summaries — MayWallClock, MayGlobalRand, MayAlloc,
+// SchedulesUnkeyed — propagates them bottom-up through the package call
+// graph, and serializes them per package through the vet unitchecker
+// protocol, so calling a helper that transitively reaches time.Now is
+// flagged at the sim-package call site with the full chain
+// ("a → b → time.Now") in the diagnostic.
 //
 // The suite is framework-compatible in spirit with
 // golang.org/x/tools/go/analysis but self-contained on the standard
@@ -26,14 +38,20 @@
 //
 // Escapes are explicit comments, each carrying a reason:
 //
-//	//hpcclint:allow <analyzer> -- <reason>   suppress that analyzer on
-//	                                          this line or the next
+//	//hpcclint:allow <a>[,<b>] -- <reason>    suppress those analyzers on
+//	                                          this line or the next; also
+//	                                          cleanses the construct from
+//	                                          interprocedural summaries
 //	//hpcclint:nosnap <reason>                exempt a struct field from
 //	                                          checkpointfields coverage
+//	//hpcclint:alias <reason>                 accept an intentional alias
+//	                                          in a Checkpoint method
+//	                                          (journaled/pointer-stable
+//	                                          snapshot patterns)
 //	//hpcclint:alloc-free                     opt a function into
 //	                                          hotpathalloc checking
 //
-// An allow without a reason is ignored (the diagnostic still fires), so
+// An escape without a reason is ignored (the diagnostic still fires), so
 // every escape in the tree documents why it is legitimate.
 package analysis
 
@@ -54,6 +72,15 @@ const ReadmeAnchor = "README.md#static-analysis--invariants"
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Chain is the call path from the reported call site to the taint
+	// root for interprocedural findings ("a → b → time.Now"); empty for
+	// direct findings.
+	Chain []string
+	// Note marks an advisory finding: printed, carried in -json output,
+	// but not counted toward the exit status (go vet stays green).
+	Note bool
 }
 
 // Analyzer is one named invariant checker.
@@ -77,6 +104,7 @@ func All() []*Analyzer {
 		CheckpointFieldsAnalyzer,
 		EventKeyAnalyzer,
 		HotPathAllocAnalyzer,
+		SnapAliasAnalyzer,
 	}
 }
 
@@ -87,6 +115,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Facts holds the interprocedural summaries for this package and
+	// its dependencies (see facts.go). Nil disables call-site taint
+	// checks, leaving each analyzer purely intraprocedural.
+	Facts *PackageFacts
 
 	// Report receives diagnostics that survive //hpcclint:allow
 	// filtering.
@@ -100,14 +133,41 @@ type Pass struct {
 // invariant name and README anchor are appended so the message is
 // self-explanatory wherever it surfaces.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, false, format, args...)
+}
+
+// ReportChainf is Reportf for interprocedural findings: the taint chain
+// (call path from the flagged call to the root construct) is appended to
+// the message and carried structurally for -json output.
+func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...interface{}) {
+	p.report(pos, chain, false, format, args...)
+}
+
+// Notef emits an advisory diagnostic: same filtering and formatting as
+// Reportf, but marked Note so it never trips the vet exit status.
+func (p *Pass) Notef(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, true, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, chain []string, note bool, format string, args ...interface{}) {
 	if p.Allowed(p.Analyzer.Name, pos) {
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
+	if len(chain) > 0 {
+		msg = fmt.Sprintf("%s [chain: %s]", msg, strings.Join(chain, " → "))
+	}
+	severity := "invariant"
+	if note {
+		severity = "note; invariant"
+	}
 	p.Report(Diagnostic{
 		Pos: pos,
-		Message: fmt.Sprintf("%s [invariant: %s; see %s]",
-			msg, p.Analyzer.Invariant, ReadmeAnchor),
+		Message: fmt.Sprintf("%s [%s: %s; see %s]",
+			msg, severity, p.Analyzer.Invariant, ReadmeAnchor),
+		Analyzer: p.Analyzer.Name,
+		Chain:    chain,
+		Note:     note,
 	})
 }
 
@@ -151,30 +211,53 @@ func buildAllowIndex(fset *token.FileSet, f *ast.File) map[int][]string {
 	idx := make(map[int][]string)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			kind, rest, ok := ParseDirective(c.Text)
-			if !ok || kind != "allow" {
-				continue
-			}
-			// "<analyzer> -- <reason>": a reasonless allow is ignored,
-			// so escapes always document themselves.
-			name, reason, found := strings.Cut(rest, "--")
-			if !found || strings.TrimSpace(reason) == "" {
-				continue
-			}
-			name = strings.TrimSpace(name)
-			if name == "" {
+			names := AllowedAnalyzers(c.Text)
+			if len(names) == 0 {
 				continue
 			}
 			line := fset.Position(c.End()).Line
-			idx[line] = append(idx[line], name)
+			idx[line] = append(idx[line], names...)
 		}
 	}
 	return idx
 }
 
+// AllowedAnalyzers decodes an escape comment into the analyzer names it
+// suppresses. "//hpcclint:allow a,b -- reason" suppresses a and b;
+// "//hpcclint:alias reason" is snapalias's dedicated escape and
+// suppresses snapalias. A reasonless escape suppresses nothing (the
+// diagnostic still fires), so every escape in the tree documents why it
+// is legitimate.
+func AllowedAnalyzers(comment string) []string {
+	kind, rest, ok := ParseDirective(comment)
+	if !ok {
+		return nil
+	}
+	switch kind {
+	case "alias":
+		if strings.TrimSpace(rest) == "" {
+			return nil
+		}
+		return []string{"snapalias"}
+	case "allow":
+		names, reason, found := strings.Cut(rest, "--")
+		if !found || strings.TrimSpace(reason) == "" {
+			return nil
+		}
+		var out []string
+		for _, name := range strings.Split(names, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				out = append(out, name)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
 // ParseDirective decodes an "//hpcclint:<kind> <rest>" comment,
 // reporting ok = false for ordinary comments. Kind is "allow",
-// "nosnap" or "alloc-free".
+// "nosnap", "alias" or "alloc-free".
 func ParseDirective(text string) (kind, rest string, ok bool) {
 	const prefix = "//hpcclint:"
 	if !strings.HasPrefix(text, prefix) {
@@ -183,7 +266,7 @@ func ParseDirective(text string) (kind, rest string, ok bool) {
 	body := strings.TrimPrefix(text, prefix)
 	kind, rest, _ = strings.Cut(body, " ")
 	switch kind {
-	case "allow", "nosnap", "alloc-free":
+	case "allow", "nosnap", "alias", "alloc-free":
 		return kind, strings.TrimSpace(rest), true
 	}
 	return "", "", false

@@ -25,37 +25,37 @@ import (
 )
 
 // Run loads testdata/src/<importPath>, type-checks it with imports
-// resolved from testdata/src, runs the analyzer, and compares the
-// diagnostics with the fixture's want comments.
+// resolved from testdata/src, computes interprocedural facts for the
+// package and (recursively) its fixture dependencies — round-tripping
+// each dependency's facts through the serialized vetx form, so fixtures
+// exercise the same fact export/import path the unitchecker uses — runs
+// the analyzer, and compares the diagnostics with the fixture's want
+// comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) {
 	t.Helper()
 	fset := token.NewFileSet()
-	ld := &loader{fset: fset, srcDir: filepath.Join(testdata, "src"), pkgs: map[string]*types.Package{}}
+	ld := &loader{fset: fset, srcDir: filepath.Join(testdata, "src"), pkgs: map[string]*loadedPkg{}}
 
-	files, err := ld.parsePackage(importPath)
+	lp, err := ld.load(importPath)
 	if err != nil {
-		t.Fatalf("parse %s: %v", importPath, err)
-	}
-	info := newInfo()
-	pkg, err := ld.check(importPath, files, info)
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", importPath, err)
+		t.Fatalf("load %s: %v", importPath, err)
 	}
 
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer: a,
 		Fset:     fset,
-		Files:    files,
-		Pkg:      pkg,
-		Info:     info,
+		Files:    lp.files,
+		Pkg:      lp.pkg,
+		Info:     lp.info,
+		Facts:    lp.facts,
 		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, importPath, err)
 	}
 
-	checkWants(t, fset, files, diags)
+	checkWants(t, fset, lp.files, diags)
 }
 
 // want is one `// want "re"` expectation.
@@ -120,12 +120,54 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 	}
 }
 
+// loadedPkg is one fully-analyzed fixture package: parsed files, type
+// information, and the interprocedural fact summaries.
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	facts *analysis.PackageFacts
+	vetx  []byte // serialized facts, as a dependency would export them
+}
+
 // loader parses and type-checks packages rooted at testdata/src,
 // resolving imports recursively within that tree only.
 type loader struct {
 	fset   *token.FileSet
 	srcDir string
-	pkgs   map[string]*types.Package
+	pkgs   map[string]*loadedPkg
+}
+
+// load parses, type-checks and fact-computes one fixture package,
+// memoized. Dependency facts resolve through the serialized form, the
+// in-process equivalent of reading a vetx file.
+func (l *loader) load(importPath string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[importPath]; ok {
+		return lp, nil
+	}
+	files, err := l.parsePackage(importPath)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	pkg, err := l.check(importPath, files, info)
+	if err != nil {
+		return nil, err
+	}
+	facts := analysis.ComputeFacts(l.fset, files, pkg, info, func(path string) (analysis.SerializedFacts, error) {
+		dep, ok := l.pkgs[path]
+		if !ok {
+			return nil, nil // outside the fixture tree: no facts
+		}
+		return analysis.DecodeFacts(dep.vetx)
+	})
+	vetx, err := facts.Export()
+	if err != nil {
+		return nil, fmt.Errorf("export facts for %s: %v", importPath, err)
+	}
+	lp := &loadedPkg{files: files, pkg: pkg, info: info, facts: facts, vetx: vetx}
+	l.pkgs[importPath] = lp
+	return lp, nil
 }
 
 func (l *loader) parsePackage(importPath string) ([]*ast.File, error) {
@@ -161,24 +203,19 @@ func (l *loader) check(importPath string, files []*ast.File, info *types.Info) (
 	return conf.Check(importPath, l.fset, files, info)
 }
 
-// Import implements types.Importer over the testdata/src tree.
+// Import implements types.Importer over the testdata/src tree. Each
+// dependency is fully loaded — typechecked and fact-computed — before
+// the importing package's own analysis begins, mirroring the bottom-up
+// order cmd/go drives the unitchecker in.
 func (l *loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	files, err := l.parsePackage(path)
+	lp, err := l.load(path)
 	if err != nil {
 		return nil, fmt.Errorf("import %q: %v (fixture imports resolve only under testdata/src)", path, err)
 	}
-	pkg, err := l.check(path, files, newInfo())
-	if err != nil {
-		return nil, err
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	return lp.pkg, nil
 }
 
 type importerFunc func(string) (*types.Package, error)

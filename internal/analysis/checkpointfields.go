@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -13,7 +14,20 @@ import (
 // "//hpcclint:nosnap <reason>" annotation (immutable config, derived
 // state, journaled membership, the snapshot slot itself). A
 // whole-struct copy through the receiver (*s = *r / *r = *s) covers
-// every field at once, the flat-value pattern the cc schemes use.
+// every field at once, the flat-value pattern the cc schemes use —
+// though if the struct holds reference-typed fields, a note points at
+// the snapalias analyzer, which checks whether that copy aliases.
+//
+// Two structural rules look through the field list:
+//
+//   - An embedded struct is flattened: it counts as covered when the
+//     embedded name itself is referenced, or when every promoted field
+//     is (the missing ones are named in the diagnostic).
+//   - A field whose own type is Checkpointable must be delegated to —
+//     recv.f.Checkpoint() in Checkpoint and recv.f.Rollback() in
+//     Rollback — because only the field's own methods know how to
+//     snapshot its internals (the pattern QueueMonitor uses for its
+//     sketches).
 //
 // This turns "you added a field to Host but forgot to snapshot it" —
 // today a speculative-rollback golden failure several PRs later
@@ -27,9 +41,12 @@ var CheckpointFieldsAnalyzer = &Analyzer{
 
 // ckptField is one declared field of a checkpointable struct.
 type ckptField struct {
-	name   string
-	pos    token.Pos
-	nosnap bool
+	name     string
+	pos      token.Pos
+	nosnap   bool
+	typ      types.Type // nil when unresolved
+	embedded bool
+	subnames []string // promoted field names of an embedded struct
 }
 
 func runCheckpointFields(pass *Pass) error {
@@ -111,14 +128,45 @@ func runCheckpointFields(pass *Pass) error {
 		if len(fields) == 0 {
 			continue
 		}
-		inCk := fieldRefs(pass, ck, fields)
-		inRb := fieldRefs(pass, rb, fields)
+		known := map[string]bool{}
+		for _, fd := range fields {
+			known[fd.name] = true
+			for _, sub := range fd.subnames {
+				known[sub] = true
+			}
+		}
+		inCk := methodCoverage(pass, ck, known)
+		inRb := methodCoverage(pass, rb, known)
 		for _, fd := range fields {
 			if fd.nosnap {
 				continue
 			}
-			ckOK, rbOK := inCk[fd.name], inRb[fd.name]
+			if isCheckpointable(fd.typ) {
+				if !inCk.delegated[fd.name] || !inRb.delegated[fd.name] {
+					pass.Reportf(fd.pos,
+						"field %s of checkpointable type %s has a Checkpointable type: delegate with "+
+							"%s.Checkpoint() and %s.Rollback() (only the field's own methods snapshot its "+
+							"internals), or annotate it //hpcclint:nosnap <reason>",
+						fd.name, typeName, fd.name, fd.name)
+				}
+				continue
+			}
+			ckOK, ckMissing := fd.covered(inCk)
+			rbOK, _ := fd.covered(inRb)
 			if ckOK && rbOK {
+				// Whole-struct copies cover everything at once, but they
+				// copy maps and slices by reference: surface an advisory
+				// note pointing at the analyzer that audits the copy.
+				if inCk.coverAll && !inCk.refs[fd.name] {
+					if refs := fieldRefState(fd); len(refs) > 0 {
+						pass.Notef(fd.pos,
+							"whole-struct copy covers field %s of %s, but its reference state (%s) is "+
+								"copied by reference and shares storage with the live simulation; the snapalias "+
+								"analyzer audits the Checkpoint copy — deep-copy the field explicitly if it "+
+								"mutates between checkpoints",
+							fd.name, typeName, strings.Join(refs, ", "))
+					}
+				}
 				continue
 			}
 			var where string
@@ -130,6 +178,14 @@ func runCheckpointFields(pass *Pass) error {
 			default:
 				where = "Rollback"
 			}
+			if fd.embedded && len(ckMissing) > 0 && ckMissing[0] != fd.name {
+				pass.Reportf(fd.pos,
+					"embedded field %s of checkpointable type %s is not covered in %s: promoted fields %s are "+
+						"never referenced; snapshot them (or the embedded value as a whole), or annotate "+
+						"//hpcclint:nosnap <reason>",
+					fd.name, typeName, where, strings.Join(ckMissing, ", "))
+				continue
+			}
 			pass.Reportf(fd.pos,
 				"field %s of checkpointable type %s is not referenced in %s: snapshot and restore it, "+
 					"or annotate it //hpcclint:nosnap <reason> if it is immutable, derived or journaled elsewhere",
@@ -137,6 +193,38 @@ func runCheckpointFields(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// fieldRefState names the reference state a whole-struct copy shares
+// for this field: the field itself when it is a map or slice, or the
+// reference-typed paths inside it when it is a struct or array.
+func fieldRefState(fd ckptField) []string {
+	if fd.typ == nil {
+		return nil
+	}
+	switch fd.typ.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return []string{fd.name}
+	}
+	return refFields(fd.typ)
+}
+
+// covered reports whether the field is covered by the method's
+// references: a whole-struct copy, a direct reference, or (for embedded
+// structs) every promoted field referenced. missing lists what is not.
+func (fd *ckptField) covered(mc coverage) (ok bool, missing []string) {
+	if mc.coverAll || mc.refs[fd.name] {
+		return true, nil
+	}
+	if fd.embedded && len(fd.subnames) > 0 {
+		for _, sub := range fd.subnames {
+			if !mc.refs[sub] {
+				missing = append(missing, sub)
+			}
+		}
+		return len(missing) == 0, missing
+	}
+	return false, []string{fd.name}
 }
 
 func recvTypeName(d *ast.FuncDecl) string {
@@ -166,11 +254,17 @@ func structFields(pass *Pass, st *ast.StructType, nosnapLines map[string]map[int
 			// Directive trailing the field's line, or on the line above.
 			nosnap = lines[p.Line] || lines[p.Line-1]
 		}
+		typ := pass.Info.TypeOf(f.Type)
 		if len(f.Names) == 0 {
-			// Embedded field: refer to it by its type's base name.
+			// Embedded field: refer to it by its type's base name, and
+			// flatten its promoted fields so covering them one by one
+			// also counts.
 			name := embeddedName(f.Type)
 			if name != "" {
-				out = append(out, ckptField{name: name, pos: pos, nosnap: nosnap})
+				out = append(out, ckptField{
+					name: name, pos: pos, nosnap: nosnap, typ: typ,
+					embedded: true, subnames: promotedFields(pass.Pkg, typ),
+				})
 			}
 			continue
 		}
@@ -178,10 +272,109 @@ func structFields(pass *Pass, st *ast.StructType, nosnapLines map[string]map[int
 			if id.Name == "_" {
 				continue
 			}
-			out = append(out, ckptField{name: id.Name, pos: id.Pos(), nosnap: nosnap})
+			out = append(out, ckptField{name: id.Name, pos: id.Pos(), nosnap: nosnap, typ: typ})
 		}
 	}
 	return out
+}
+
+// promotedFields lists the field names an embedded struct (or pointer
+// to struct) promotes into the outer type, restricted to those the
+// analyzed package can actually reference.
+func promotedFields(pkg *types.Package, t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue
+		}
+		if !f.Exported() && f.Pkg() != nil && f.Pkg() != pkg {
+			continue // not referenceable from here
+		}
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+// isCheckpointable reports whether t (or *t) satisfies the
+// sim.Checkpointable shape: Checkpoint() and Rollback() methods with no
+// parameters or results.
+func isCheckpointable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	hasMethod := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return false
+		}
+		sig := fn.Signature()
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	return hasMethod("Checkpoint") && hasMethod("Rollback")
+}
+
+// coverage is what one method's body references.
+type coverage struct {
+	refs      map[string]bool // field names referenced through the receiver
+	delegated map[string]bool // fields with a recv.f.<Method>() delegation call
+	coverAll  bool            // whole-struct copy via *recv
+}
+
+// methodCoverage returns the struct fields the method references
+// through its receiver, the fields it delegates to (recv.f.Checkpoint()
+// inside Checkpoint, recv.f.Rollback() inside Rollback), and whether a
+// whole-struct copy via the receiver (*dst = *recv, s := *recv) covers
+// every field at once.
+func methodCoverage(pass *Pass, fn *ast.FuncDecl, known map[string]bool) coverage {
+	mc := coverage{refs: map[string]bool{}, delegated: map[string]bool{}}
+	recvName := ""
+	if names := fn.Recv.List[0].Names; len(names) == 1 {
+		recvName = names[0].Name
+	}
+	if recvName == "" || recvName == "_" || fn.Body == nil {
+		return mc
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// recv.f.Checkpoint() / recv.f.Rollback(): delegation to a
+			// Checkpointable field, matched against the enclosing
+			// method's own name.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == fn.Name.Name {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && isRecv(inner.X) {
+					mc.delegated[inner.Sel.Name] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if isRecv(n.X) && known[n.Sel.Name] {
+				mc.refs[n.Sel.Name] = true
+			}
+		case *ast.StarExpr:
+			// *recv as a value or assignment target is a whole-struct
+			// copy: every field is snapshotted/restored at once.
+			if isRecv(n.X) {
+				mc.coverAll = true
+			}
+		}
+		return true
+	})
+	return mc
 }
 
 func embeddedName(t ast.Expr) string {
@@ -196,49 +389,6 @@ func embeddedName(t ast.Expr) string {
 		return embeddedName(t.X)
 	}
 	return ""
-}
-
-// fieldRefs returns the set of struct fields the method references
-// through its receiver, treating a whole-struct copy via the receiver
-// (*dst = *recv, *recv = *src, s := *recv) as covering every field.
-func fieldRefs(pass *Pass, fn *ast.FuncDecl, fields []ckptField) map[string]bool {
-	known := map[string]bool{}
-	for _, fd := range fields {
-		known[fd.name] = true
-	}
-	recvName := ""
-	if names := fn.Recv.List[0].Names; len(names) == 1 {
-		recvName = names[0].Name
-	}
-	refs := map[string]bool{}
-	if recvName == "" || recvName == "_" || fn.Body == nil {
-		return refs
-	}
-	isRecv := func(e ast.Expr) bool {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		return ok && id.Name == recvName
-	}
-	coverAll := func() {
-		for name := range known {
-			refs[name] = true
-		}
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if isRecv(n.X) && known[n.Sel.Name] {
-				refs[n.Sel.Name] = true
-			}
-		case *ast.StarExpr:
-			// *recv as a value or assignment target is a whole-struct
-			// copy: every field is snapshotted/restored at once.
-			if isRecv(n.X) {
-				coverAll()
-			}
-		}
-		return true
-	})
-	return refs
 }
 
 // String implements fmt.Stringer for debugging field sets.

@@ -9,11 +9,15 @@ import (
 // DeterminismAnalyzer flags the constructs that break byte-identical
 // 1-vs-N shard replay in simulation packages: wall-clock reads, draws
 // from the global math/rand source, goroutine launches, and iteration
-// over maps where the body's effects depend on iteration order. The
-// invariant is pinned at runtime by the sharded golden tests
-// (TestShardedSaturatedMultipathGolden and friends) and the CI
-// 1-vs-4-shard bytewise smoke; this analyzer catches the regression at
-// build time instead.
+// over maps where the body's effects depend on iteration order. It is
+// interprocedural: calling a helper outside the simulation scope that
+// transitively reaches time.Now/time.Since or a global RNG draw is
+// flagged at the call site with the full chain (helpers inside the
+// scope are flagged where their own body offends, so each root is
+// reported exactly once). The invariant is pinned at runtime by the
+// sharded golden tests (TestShardedSaturatedMultipathGolden and
+// friends) and the CI 1-vs-4-shard bytewise smoke; this analyzer
+// catches the regression at build time instead.
 var DeterminismAnalyzer = &Analyzer{
 	Name:      "determinism",
 	Doc:       "forbid wall clock, global RNG, goroutines and order-sensitive map iteration in simulation packages",
@@ -53,25 +57,48 @@ func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if fn.Name() == "Now" {
+		if fn.Name() == "Now" || fn.Name() == "Since" {
 			pass.Reportf(call.Pos(),
-				"time.Now in a simulation package: wall-clock reads diverge across runs and shard counts; "+
-					"use the engine clock (Engine.Now) or annotate //hpcclint:allow determinism -- <reason>")
+				"time.%s in a simulation package: wall-clock reads diverge across runs and shard counts; "+
+					"use the engine clock (Engine.Now) or annotate //hpcclint:allow determinism -- <reason>", fn.Name())
 		}
+		return
 	case "math/rand", "math/rand/v2":
 		// Package-level functions draw from the shared global source;
 		// seeded *rand.Rand streams (methods) are the deterministic
 		// pattern sim.NewRNG hands out.
-		if fn.Signature().Recv() != nil {
-			return
+		if isGlobalRandDraw(fn) {
+			pass.Reportf(call.Pos(),
+				"math/rand.%s draws from the process-global source; thread a seeded *rand.Rand from the spec "+
+					"(sim.NewRNG) or annotate //hpcclint:allow determinism -- <reason>", fn.Name())
 		}
-		switch fn.Name() {
-		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
-			return // constructors, not draws
-		}
-		pass.Reportf(call.Pos(),
-			"math/rand.%s draws from the process-global source; thread a seeded *rand.Rand from the spec "+
-				"(sim.NewRNG) or annotate //hpcclint:allow determinism -- <reason>", fn.Name())
+		return
+	}
+	checkTaintedDetCall(pass, call, fn)
+}
+
+// checkTaintedDetCall flags calls into helpers outside the simulation
+// scope whose summaries say they transitively reach a wall-clock read
+// or a global RNG draw. Callees inside the scope are skipped: their own
+// package's analysis reports the offending construct, so each root
+// surfaces exactly once.
+func checkTaintedDetCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	if pass.Facts == nil || inSimScope(fn.Pkg().Path()) {
+		return
+	}
+	if t := pass.Facts.TaintOf(fn, KindWallClock); t != nil {
+		chain := append([]string{displayName(fn, pass.Pkg)}, t.Chain...)
+		pass.ReportChainf(call.Pos(), chain,
+			"call to %s reaches a wall-clock read: wall-clock values diverge across runs and shard counts; "+
+				"use the engine clock (Engine.Now) or annotate //hpcclint:allow determinism -- <reason>",
+			displayName(fn, pass.Pkg))
+	}
+	if t := pass.Facts.TaintOf(fn, KindGlobalRand); t != nil {
+		chain := append([]string{displayName(fn, pass.Pkg)}, t.Chain...)
+		pass.ReportChainf(call.Pos(), chain,
+			"call to %s draws from the process-global math/rand source; thread a seeded *rand.Rand from "+
+				"the spec (sim.NewRNG) or annotate //hpcclint:allow determinism -- <reason>",
+			displayName(fn, pass.Pkg))
 	}
 }
 

@@ -11,7 +11,9 @@ import (
 // by a structural key derived from the spec; an unkeyed call falls back
 // to key 0 and ties break by arming order, which differs between 1 and
 // N shards. Delivery and arrival paths must use AtKey/AfterKey with
-// sim.ArrivalKey or the port's WireKey.
+// sim.ArrivalKey or the port's WireKey. Interprocedurally, calling a
+// helper outside the delivery scope whose summary says it schedules
+// unkeyed is flagged at the call site with the chain.
 var EventKeyAnalyzer = &Analyzer{
 	Name:      "eventkey",
 	Doc:       "packet-delivery and arrival paths must schedule via AtKey/AfterKey so same-picosecond ties order by the canonical rank",
@@ -33,18 +35,42 @@ func runEventKey(pass *Pass) error {
 				return true
 			}
 			fn := funcObj(pass.Info, call)
-			if fn == nil || !isEngineMethod(fn, "At", "After") {
+			if fn == nil {
 				return true
 			}
-			pass.Reportf(call.Pos(),
-				"unkeyed Engine.%s on a delivery/arrival path: same-picosecond ties break by arming order, "+
-					"which diverges between 1 and N shards; use %sKey with sim.ArrivalKey or the port's WireKey, "+
-					"or annotate //hpcclint:allow eventkey -- <reason> if ties are provably local",
-				fn.Name(), fn.Name())
+			if isEngineMethod(fn, "At", "After") {
+				pass.Reportf(call.Pos(),
+					"unkeyed Engine.%s on a delivery/arrival path: same-picosecond ties break by arming order, "+
+						"which diverges between 1 and N shards; use %sKey with sim.ArrivalKey or the port's WireKey, "+
+						"or annotate //hpcclint:allow eventkey -- <reason> if ties are provably local",
+					fn.Name(), fn.Name())
+				return true
+			}
+			checkTaintedSchedCall(pass, call, fn)
 			return true
 		})
 	}
 	return nil
+}
+
+// checkTaintedSchedCall flags calls into helpers outside the delivery
+// scope whose summaries say they transitively schedule through unkeyed
+// Engine.At/After. Callees inside the scope are skipped — their own
+// package's analysis reports the offending call.
+func checkTaintedSchedCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	if pass.Facts == nil || fn.Pkg() == nil || inDeliveryScope(fn.Pkg().Path()) {
+		return
+	}
+	t := pass.Facts.TaintOf(fn, KindUnkeyedSched)
+	if t == nil {
+		return
+	}
+	chain := append([]string{displayName(fn, pass.Pkg)}, t.Chain...)
+	pass.ReportChainf(call.Pos(), chain,
+		"call to %s schedules through unkeyed Engine.At/After on a delivery/arrival path: same-picosecond "+
+			"ties break by arming order, which diverges between 1 and N shards; plumb a key down to the "+
+			"AtKey/AfterKey call or annotate //hpcclint:allow eventkey -- <reason> if ties are provably local",
+		displayName(fn, pass.Pkg))
 }
 
 // isEngineMethod reports whether fn is a method with one of the given

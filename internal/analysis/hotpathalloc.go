@@ -10,12 +10,17 @@ import (
 // — the per-packet paths pinned at runtime by the AllocsPerRun tests
 // (port tx/deliver, host ACK processing, sketch Add) — for constructs
 // that allocate or are likely to escape to the heap: pointer composite
-// literals, map/slice literals, make/new, closures, fmt calls, string
-// concatenation and conversions, interface boxing of non-pointer
-// values, and method values. It is intraprocedural and conservative:
-// a flagged construct may in fact stay on the stack, but the hot paths
-// are written so none appear at all; per-flow setup inside a hot
-// function carries //hpcclint:allow hotpathalloc escapes.
+// literals, map/slice literals, make/new, append growth, closures, fmt
+// calls, string concatenation and conversions, interface boxing of
+// non-pointer values (including at call boundaries), and method values.
+// It is interprocedural through the facts pass: calling a function
+// whose summary says it may allocate is flagged at the call site with
+// the chain, unless the callee is itself annotated //hpcclint:alloc-free
+// (the annotation is the contract; its body is checked in its own
+// package). The check is conservative: a flagged construct may in fact
+// stay on the stack, but the hot paths are written so none appear at
+// all; per-flow setup inside a hot function carries
+// //hpcclint:allow hotpathalloc escapes.
 var HotPathAllocAnalyzer = &Analyzer{
 	Name:      "hotpathalloc",
 	Doc:       "functions annotated //hpcclint:alloc-free must contain no allocating or heap-escaping constructs",
@@ -102,6 +107,10 @@ func checkAllocFreeFunc(pass *Pass, fn *ast.FuncDecl) {
 				report(n.Pos(), "make/new (heap allocation)")
 				break
 			}
+			if isBuiltin(info, n, "append") {
+				report(n.Pos(), "append (grows the backing array beyond capacity, a heap allocation)")
+				break
+			}
 			if fnObj := funcObj(info, n); fnObj != nil && fnObj.Pkg() != nil && fnObj.Pkg().Path() == "fmt" {
 				fmtCalls = append(fmtCalls, n)
 				report(n.Pos(), "fmt call (formats and boxes arguments)")
@@ -111,6 +120,7 @@ func checkAllocFreeFunc(pass *Pass, fn *ast.FuncDecl) {
 				checkConversion(pass, info, n, report)
 				break
 			}
+			checkTaintedAllocCall(pass, n, name)
 			checkCallBoxing(info, n, inFmtCall, report)
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
@@ -145,6 +155,30 @@ func checkAllocFreeFunc(pass *Pass, fn *ast.FuncDecl) {
 	})
 }
 
+// checkTaintedAllocCall flags calls to functions whose summaries say
+// they may allocate, unless the callee itself carries the
+// //hpcclint:alloc-free contract (its own body is lint-enforced; any
+// remaining construct inside it is an audited escape).
+func checkTaintedAllocCall(pass *Pass, call *ast.CallExpr, inFunc string) {
+	if pass.Facts == nil {
+		return
+	}
+	fn := funcObj(pass.Info, call)
+	if fn == nil || pass.Facts.AllocFree(fn) {
+		return
+	}
+	t := pass.Facts.TaintOf(fn, KindAlloc)
+	if t == nil {
+		return
+	}
+	chain := append([]string{displayName(fn, pass.Pkg)}, t.Chain...)
+	pass.ReportChainf(call.Pos(), chain,
+		"call to %s may allocate in alloc-free function %s: the per-packet hot path must not allocate "+
+			"(pinned by AllocsPerRun tests); annotate the callee //hpcclint:alloc-free once its body is "+
+			"clean, or annotate //hpcclint:allow hotpathalloc -- <reason>",
+		displayName(fn, pass.Pkg), inFunc)
+}
+
 // checkConversion flags string<->[]byte/[]rune conversions, which copy.
 func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
 	if len(call.Args) != 1 {
@@ -164,6 +198,9 @@ func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr, report fu
 
 // checkCallBoxing flags arguments boxed into interface parameters.
 func checkCallBoxing(info *types.Info, call *ast.CallExpr, inFmtCall func(token.Pos) bool, report func(token.Pos, string)) {
+	if isBuiltin(info, call, "panic") {
+		return // a panicking path is never the steady-state hot path
+	}
 	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
@@ -173,6 +210,10 @@ func checkCallBoxing(info *types.Info, call *ast.CallExpr, inFmtCall func(token.
 		var pt types.Type
 		switch {
 		case sig.Variadic() && i >= params.Len()-1:
+			// f(xs...) passes the slice through without boxing elements.
+			if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+				continue
+			}
 			s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
 			if !ok {
 				continue

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapAliasAnalyzer verifies that Checkpoint methods deep-copy
+// reference-typed state instead of aliasing it — the one checkpoint bug
+// class checkpointfields structurally cannot see: a field can be
+// "referenced in both methods" while the snapshot still shares storage
+// with the live simulation, so a post-checkpoint mutation silently
+// corrupts the snapshot and rollback restores garbage.
+//
+// The analyzer tracks the set of receiver-derived expressions (the
+// receiver, locals bound to plain receiver paths, range variables over
+// receiver state) and flags copies whose source is receiver-derived and
+// reference-typed:
+//
+//   - assigning a live map or slice (snap.m = s.m aliases the storage)
+//   - copying a struct value that transitively contains maps or slices
+//     (*snap = *s shares every one of them)
+//   - storing a pointer to live state in a composite literal without a
+//     sibling value copy through that pointer ({ptr: p} journals only
+//     the identity; {ptr: p, val: *p} is the pointer-stable deep-copy
+//     pattern PR 6 established)
+//
+// Clean patterns pass without annotation: append into a reused buffer
+// (sn.bins = append(sn.bins[:0], s.bins...)), maps-style key-by-key
+// copies, make+copy, and any other call-expression source (calls are
+// assumed to copy; their bodies are checked where they live).
+// Intentional aliases — journaled pointers restored through explicit
+// write-backs, pointer-stable trampolines — carry
+// "//hpcclint:alias <reason>" escapes.
+var SnapAliasAnalyzer = &Analyzer{
+	Name:      "snapalias",
+	Doc:       "Checkpoint methods must deep-copy reference-typed state (maps, slices, pointed-to structs), not alias it into the snapshot",
+	Invariant: "checkpoint-deep-copy",
+	Run:       runSnapAlias,
+}
+
+func runSnapAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Checkpoint" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if fn.Type.Params.NumFields() != 0 || fn.Type.Results.NumFields() != 0 {
+				continue // not the sim.Checkpointable shape
+			}
+			checkCheckpointAliases(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCheckpointAliases(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	recvType := recvTypeName(fn)
+	derived := receiverDerived(info, fn)
+
+	// rooted reports whether e is a plain access path (idents, field
+	// selections, indexing, derefs) rooted at a receiver-derived object.
+	rooted := func(e ast.Expr) bool {
+		obj, plain := pathRoot(info, e)
+		return plain && obj != nil && derived[obj]
+	}
+	flag := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(),
+			"Checkpoint of %s aliases live state: %s; a post-checkpoint mutation corrupts the snapshot and "+
+				"rollback restores garbage — deep-copy it (append into a reused buffer, copy key by key, or "+
+				"pair the pointer with a value copy), or annotate //hpcclint:alias <reason> for "+
+				"journaled/pointer-stable patterns", recvType, what)
+	}
+	// checkValueCopy flags a reference-typed copy from a receiver-derived
+	// source expression.
+	checkValueCopy := func(src ast.Expr) {
+		src = ast.Unparen(src)
+		if !rooted(src) {
+			return
+		}
+		t := info.TypeOf(src)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			flag(src, "the copied map shares its storage with the live simulation")
+		case *types.Slice:
+			flag(src, "the copied slice shares its backing array with the live simulation")
+		default:
+			if refs := refFields(t); len(refs) > 0 {
+				flag(src, "the copied struct value shares reference fields ("+
+					strings.Join(refs, ", ")+") with the live simulation")
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				checkValueCopy(rhs)
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Struct); !ok {
+				return true
+			}
+			// Collect the dereferenced siblings so {ptr: p, val: *p}
+			// recognizes the pointer+value-copy pattern.
+			deref := map[string]bool{}
+			values := make([]ast.Expr, 0, len(n.Elts))
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				v = ast.Unparen(v)
+				values = append(values, v)
+				if star, ok := v.(*ast.StarExpr); ok {
+					deref[types.ExprString(ast.Unparen(star.X))] = true
+				}
+			}
+			for _, v := range values {
+				if !rooted(v) {
+					continue
+				}
+				t := info.TypeOf(v)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					if !deref[types.ExprString(v)] {
+						flag(v, "the snapshot stores a pointer to live state without a paired value copy (*"+
+							types.ExprString(v)+")")
+					}
+					continue
+				}
+				checkValueCopy(v)
+			}
+		}
+		return true
+	})
+}
+
+// receiverDerived computes the set of objects whose value is a plain
+// path into the receiver's state: the receiver itself, locals assigned
+// from such paths, and range variables over them. One-level dataflow,
+// iterated to a fixpoint over the body.
+func receiverDerived(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	if names := fn.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		if obj := info.Defs[names[0]]; obj != nil {
+			derived[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		add := func(e ast.Expr) {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := info.ObjectOf(id)
+			if obj != nil && !derived[obj] {
+				derived[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if obj, plain := pathRoot(info, rhs); plain && obj != nil && derived[obj] {
+						add(n.Lhs[i])
+					}
+				}
+			case *ast.RangeStmt:
+				if obj, plain := pathRoot(info, n.X); plain && obj != nil && derived[obj] {
+					if n.Key != nil {
+						add(n.Key)
+					}
+					if n.Value != nil {
+						add(n.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// pathRoot resolves the base object of a plain access path (x, x.f,
+// x[i], *x and chains thereof). plain is false for anything containing
+// calls, slicing, address-taking or literals — those produce fresh
+// values rather than aliasing the root's storage wholesale.
+func pathRoot(info *types.Info, e ast.Expr) (root types.Object, plain bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e), true
+	case *ast.SelectorExpr:
+		return pathRoot(info, e.X)
+	case *ast.IndexExpr:
+		return pathRoot(info, e.X)
+	case *ast.StarExpr:
+		return pathRoot(info, e.X)
+	}
+	return nil, false
+}
+
+// refFields lists the dotted paths of map- and slice-typed fields
+// reachable through value composition (structs and arrays) of t. Copying
+// a value of t shares exactly these with the original.
+func refFields(t types.Type) []string {
+	var out []string
+	var walk func(t types.Type, path string, depth int)
+	// Value composition cannot cycle (a struct cannot contain itself by
+	// value), so a depth cap is enough to bound the walk.
+	walk = func(t types.Type, path string, depth int) {
+		if depth > 8 {
+			return
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			out = append(out, strings.TrimPrefix(path, "."))
+		case *types.Slice:
+			out = append(out, strings.TrimPrefix(path, "."))
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				walk(f.Type(), path+"."+f.Name(), depth+1)
+			}
+		case *types.Array:
+			walk(u.Elem(), path+"[]", depth+1)
+		}
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		walk(t, "", 0)
+	}
+	return out
+}

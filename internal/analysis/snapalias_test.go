@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hpcc/internal/analysis"
+	"hpcc/internal/analysis/analysistest"
+)
+
+func TestSnapAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SnapAliasAnalyzer, "snapx")
+}

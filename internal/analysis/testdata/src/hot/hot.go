@@ -10,6 +10,7 @@ type path struct {
 	buf  [8]int
 	n    int
 	name string
+	s    []int
 }
 
 func consume(x interface{}) {}
@@ -64,4 +65,59 @@ func (p *path) cold(v int) {
 func (p *path) setup() {
 	m := make(map[int]int) //hpcclint:allow hotpathalloc -- per-flow setup, not per-packet
 	_ = m
+}
+
+//hpcclint:alloc-free
+func (p *path) appends(v int) {
+	p.s = append(p.s, v) // want `append \(grows the backing array`
+}
+
+// grows reaches an append three calls deep: flagged at the call site
+// with the chain from the facts pass.
+//
+//hpcclint:alloc-free
+func (p *path) grows() {
+	p.grow() // want `call to path\.grow may allocate.*\[chain: path\.grow → path\.deepGrow → append\]`
+}
+
+func (p *path) grow() { p.deepGrow() }
+
+func (p *path) deepGrow() { p.s = append(p.s, 1) }
+
+// okCall calls an //hpcclint:alloc-free callee: the annotation is the
+// contract, so the call is not re-flagged even though tidy's body
+// contains an audited append escape.
+//
+//hpcclint:alloc-free
+func (p *path) okCall() { p.tidy() }
+
+//hpcclint:alloc-free
+func (p *path) tidy() {
+	p.s = append(p.s, 0) //hpcclint:allow hotpathalloc -- amortized growth audited by AllocsPerRun
+}
+
+func sink(vs ...interface{}) {}
+
+// spread passes a ready-made slice through a variadic interface
+// parameter: no per-element boxing happens, so nothing is flagged.
+//
+//hpcclint:alloc-free
+func (p *path) spread(vs []interface{}) { sink(vs...) }
+
+// boxed passes elements individually: each one is boxed.
+//
+//hpcclint:alloc-free
+func (p *path) boxed(v int) {
+	sink(v) // want `interface boxing`
+}
+
+// panics guards with a message: a panicking path is never the
+// steady-state hot path, so its boxed argument is not flagged.
+//
+//hpcclint:alloc-free
+func (p *path) panics(v int) {
+	if v < 0 {
+		panic("negative")
+	}
+	p.buf[p.n&7] = v
 }

@@ -55,3 +55,91 @@ type half struct { // want `half has Checkpoint but no Rollback`
 }
 
 func (h *half) Checkpoint() { h.v++ }
+
+// stats is embedded below: its fields promote into the outer struct.
+type stats struct {
+	sent int64
+	lost int64
+	seq  int64
+}
+
+// embHost covers the embedded struct by referencing every promoted
+// field individually — the flattening rule accepts that as coverage.
+type embHost struct {
+	stats
+	save stats //hpcclint:nosnap snapshot slot
+}
+
+func (e *embHost) Checkpoint() {
+	e.save.sent = e.sent
+	e.save.lost = e.lost
+	e.save.seq = e.seq
+}
+
+func (e *embHost) Rollback() {
+	e.sent = e.save.sent
+	e.lost = e.save.lost
+	e.seq = e.save.seq
+}
+
+// embBad snapshots only one promoted field: the diagnostic names the
+// ones it forgot.
+type embBad struct {
+	stats // want `embedded field stats of checkpointable type embBad is not covered in Checkpoint or Rollback: promoted fields sent, lost are never referenced`
+	sSeq  int64
+}
+
+func (e *embBad) Checkpoint() { e.sSeq = e.seq }
+
+func (e *embBad) Rollback() { e.seq = e.sSeq }
+
+// gauge is itself Checkpointable, so fields of this type must be
+// delegated to rather than hand-copied.
+type gauge struct {
+	v, sv int64
+}
+
+func (g *gauge) Checkpoint() { g.sv = g.v }
+
+func (g *gauge) Rollback() { g.v = g.sv }
+
+// bank delegates to its gauge field in both methods: clean.
+type bank struct {
+	g  *gauge
+	n  int64
+	sn int64 //hpcclint:nosnap snapshot slot
+}
+
+func (b *bank) Checkpoint() {
+	b.g.Checkpoint()
+	b.sn = b.n
+}
+
+func (b *bank) Rollback() {
+	b.g.Rollback()
+	b.n = b.sn
+}
+
+// bankBad copies a scalar out of the gauge instead of delegating:
+// only gauge's own methods know its full snapshot shape.
+type bankBad struct {
+	g     *gauge // want `field g of checkpointable type bankBad has a Checkpointable type: delegate with g\.Checkpoint\(\) and g\.Rollback\(\)`
+	gSave int64
+}
+
+func (b *bankBad) Checkpoint() { b.gSave = b.g.v }
+
+func (b *bankBad) Rollback() { b.g.v = b.gSave }
+
+// wide uses a whole-struct copy, which covers the map field — but the
+// copy shares the map's storage, so an advisory note points at the
+// snapalias analyzer. Notes never trip the vet exit status.
+type wide struct {
+	hits int64
+	seen map[int]bool // want `whole-struct copy covers field seen of wide, but its reference state \(seen\) is copied by reference`
+	snap *wide        //hpcclint:nosnap snapshot slot
+}
+
+func (w *wide) Checkpoint() { *w.snap = *w }
+
+func (w *wide) Rollback() { *w = *w.snap }

@@ -18,3 +18,9 @@ func (e *Engine) After(d Time, fn func()) {}
 func (e *Engine) AtKey(t Time, key EventKey, fn func()) {}
 
 func (e *Engine) AfterKey(d Time, key EventKey, fn func()) {}
+
+// Defer schedules unkeyed through Engine.After: package sim is outside
+// the delivery scope, so nothing is flagged here, but the facts pass
+// records the SchedulesUnkeyed summary and delivery-scope callers are
+// flagged at their call site with the chain.
+func Defer(e *Engine, d Time, fn func()) { e.After(d, fn) }

@@ -29,3 +29,9 @@ func (n *node) arriveKeyed(d sim.Time, fn func()) {
 func (n *node) localTimer(d sim.Time, fn func()) {
 	n.eng.After(d, fn) //hpcclint:allow eventkey -- engine-local timer, ties cannot span shards
 }
+
+// deferred schedules through a helper that hides the unkeyed call one
+// package away: the imported summary flags the call site with the chain.
+func (n *node) deferred(d sim.Time, fn func()) {
+	sim.Defer(n.eng, d, fn) // want `call to sim\.Defer schedules through unkeyed Engine\.At/After.*\[chain: sim\.Defer → Engine\.After\]`
+}

@@ -1,0 +1,27 @@
+// Package util is a taint-source fixture outside the sim scope: its
+// own wall-clock reads are legal here, but the facts pass summarizes
+// them, so sim-scope callers of Stamp are flagged with the full
+// cross-package chain (Stamp → wall → time.Now).
+package util
+
+import "time"
+
+// Stamp reaches the wall clock two calls deep.
+func Stamp() time.Time { return wall() }
+
+func wall() time.Time { return time.Now() }
+
+// Quiet reads the wall clock under an audited escape: the allow
+// cleanses the root from Quiet's summary, so callers stay clean.
+func Quiet() time.Time {
+	//hpcclint:allow determinism -- startup-only read, excluded from results
+	return time.Now()
+}
+
+// Pure never touches a taint root.
+func Pure(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

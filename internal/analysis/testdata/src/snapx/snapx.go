@@ -1,0 +1,172 @@
+// Package snapx is a snapalias fixture: Checkpoint methods must
+// deep-copy reference-typed state, not alias it into the snapshot.
+package snapx
+
+type inner struct {
+	m  map[int]int
+	xs []int
+}
+
+// thing aliases live state three ways: a map, a slice, and a struct
+// value carrying both.
+type thing struct {
+	m      map[int]int
+	xs     []int
+	st     inner
+	snapM  map[int]int
+	snapXs []int
+	snapSt inner
+}
+
+func (t *thing) Checkpoint() {
+	t.snapM = t.m   // want `the copied map shares its storage`
+	t.snapXs = t.xs // want `the copied slice shares its backing array`
+	t.snapSt = t.st // want `the copied struct value shares reference fields \(m, xs\)`
+}
+
+func (t *thing) Rollback() {
+	t.m = t.snapM
+	t.xs = t.snapXs
+	t.st = t.snapSt
+}
+
+// clean deep-copies: key-by-key for the map, append into a reused
+// buffer for the slice. Neither needs an annotation.
+type clean struct {
+	m      map[int]int
+	xs     []int
+	snapM  map[int]int
+	snapXs []int
+}
+
+func (c *clean) Checkpoint() {
+	if c.snapM == nil {
+		c.snapM = make(map[int]int, len(c.m))
+	}
+	clear(c.snapM)
+	for k, v := range c.m {
+		c.snapM[k] = v
+	}
+	c.snapXs = append(c.snapXs[:0], c.xs...)
+}
+
+func (c *clean) Rollback() {
+	clear(c.m)
+	for k, v := range c.snapM {
+		c.m[k] = v
+	}
+	c.xs = append(c.xs[:0], c.snapXs...)
+}
+
+// node is pointed-to mutable state with its own reference field.
+type node struct {
+	val  int
+	deps []int
+}
+
+type nodeSnap struct {
+	p   *node
+	val node
+}
+
+// journaled uses the pointer-stable snapshot pattern: identity plus a
+// value copy through the pointer. The pointer itself is clean (it has a
+// *n sibling); the value copy would flag node.deps, and carries an
+// audited alias escape.
+type journaled struct {
+	live []*node
+	snap []nodeSnap
+}
+
+func (j *journaled) Checkpoint() {
+	j.snap = j.snap[:0]
+	for _, n := range j.live {
+		j.snap = append(j.snap, nodeSnap{p: n, val: *n}) //hpcclint:alias deps is journaled append-only and truncated on rollback
+	}
+}
+
+func (j *journaled) Rollback() {
+	for i := range j.snap {
+		*j.snap[i].p = j.snap[i].val
+	}
+}
+
+// unjournaled is the same pattern without the escape: the struct value
+// copied through the pointer shares deps with the live node.
+type unjournaled struct {
+	live []*node
+	snap []nodeSnap
+}
+
+func (u *unjournaled) Checkpoint() {
+	u.snap = u.snap[:0]
+	for _, n := range u.live {
+		u.snap = append(u.snap, nodeSnap{p: n, val: *n}) // want `the copied struct value shares reference fields \(deps\)`
+	}
+}
+
+func (u *unjournaled) Rollback() {}
+
+// wrap stores a bare pointer with no paired value copy: the snapshot
+// records only identity, so rollback cannot restore the bytes.
+type wrap struct {
+	p *node
+}
+
+type holder struct {
+	live *node
+	snap wrap
+}
+
+func (h *holder) Checkpoint() {
+	h.snap = wrap{p: h.live} // want `stores a pointer to live state without a paired value copy`
+}
+
+func (h *holder) Rollback() {
+	h.live = h.snap.p
+}
+
+// pair is the clean pointer+value form over reference-free state.
+type plain struct {
+	x int
+}
+
+type pair struct {
+	p   *plain
+	val plain
+}
+
+type keeper struct {
+	live *plain
+	snap pair
+}
+
+func (k *keeper) Checkpoint() {
+	k.snap = pair{p: k.live, val: *k.live}
+}
+
+func (k *keeper) Rollback() {
+	*k.snap.p = k.snap.val
+}
+
+// scalarOnly copies scalars and reference-free structs: nothing flags.
+type scalarOnly struct {
+	a, b  int64
+	rates [4]float64
+	snap  *scalarOnly
+}
+
+func (s *scalarOnly) Checkpoint() {
+	if s.snap == nil {
+		s.snap = &scalarOnly{}
+	}
+	s.snap.a = s.a
+	s.snap.b = s.b
+	s.snap.rates = s.rates
+}
+
+func (s *scalarOnly) Rollback() {
+	s.a = s.snap.a
+	s.b = s.snap.b
+	s.rates = s.snap.rates
+}

@@ -89,7 +89,7 @@ type DCQCN struct {
 	byteStage    int
 	bytesSince   int64
 
-	snap *DCQCN // speculative-execution checkpoint slot
+	snap *DCQCN //hpcclint:nosnap speculative-execution checkpoint slot
 }
 
 // Checkpoint captures the algorithm's state for speculative execution

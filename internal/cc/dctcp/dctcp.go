@@ -41,7 +41,7 @@ type DCTCP struct {
 	ackedBytes  int64
 	markedBytes int64
 
-	snap *DCTCP // speculative-execution checkpoint slot
+	snap *DCTCP //hpcclint:nosnap speculative-execution checkpoint slot
 }
 
 // Checkpoint captures the algorithm's state for speculative execution

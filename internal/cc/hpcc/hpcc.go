@@ -100,7 +100,7 @@ type HPCC struct {
 	winInit float64
 	minWnd  float64
 
-	snap *HPCC // speculative-execution checkpoint slot
+	snap *HPCC //hpcclint:nosnap speculative-execution checkpoint slot
 }
 
 // Checkpoint captures the algorithm's state for speculative execution

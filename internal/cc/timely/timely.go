@@ -67,7 +67,7 @@ type Timely struct {
 	rttDiff  float64 // EWMA of RTT differences, picoseconds
 	negCount int     // consecutive non-positive gradients
 
-	snap *Timely // speculative-execution checkpoint slot
+	snap *Timely //hpcclint:nosnap speculative-execution checkpoint slot
 }
 
 // Checkpoint captures the algorithm's state for speculative execution

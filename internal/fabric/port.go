@@ -23,7 +23,10 @@ type fifo[T any] struct {
 	head int
 }
 
-func (f *fifo[T]) push(e T) { f.buf = append(f.buf, e) }
+//hpcclint:alloc-free
+func (f *fifo[T]) push(e T) {
+	f.buf = append(f.buf, e) //hpcclint:allow hotpathalloc -- ring growth is amortized; capacity is reused after pop/reset (TestForwardingHotPathAllocFree)
+}
 
 func (f *fifo[T]) pop() T {
 	var zero T
@@ -288,7 +291,7 @@ func (pt *Port) kick() {
 		// adds work or eligibility (Enqueue, a later resume) kicks again.
 		if !pt.kickArmed && pt.totQBytes > 0 {
 			pt.kickArmed = true
-			pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- frame-boundary kick is engine-local to this port; it never races a cross-shard arrival at the same picosecond
+			pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- kick fires on this port's own engine and mutates only this transmitter's state; cross-shard arrivals enter through the exchange at epoch barriers under explicit AtKey arrival ranks, so a same-picosecond tie with the kick is broken by the arrival's canonical key and cannot span shards (TestShardDumbbellEquivalence)
 		}
 		return
 	}
@@ -320,7 +323,7 @@ func (pt *Port) kick() {
 
 	if pt.totQBytes > 0 && !pt.kickArmed {
 		pt.kickArmed = true
-		pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- frame-boundary kick is engine-local to this port; it never races a cross-shard arrival at the same picosecond
+		pt.kickEv = pt.eng.At(pt.busyUntil, pt.kickFn) //hpcclint:allow eventkey -- kick fires on this port's own engine and mutates only this transmitter's state; cross-shard arrivals enter through the exchange at epoch barriers under explicit AtKey arrival ranks, so a same-picosecond tie with the kick is broken by the arrival's canonical key and cannot span shards (TestShardDumbbellEquivalence)
 	}
 	if pt.remote != nil {
 		pt.remote(e.p, pt.busyUntil+pt.delay)

@@ -117,6 +117,7 @@ func (h *Host) Checkpoint() {
 	s.kvs = s.kvs[:0]
 	s.flows = s.flows[:0]
 	for _, f := range h.liveList {
+		//hpcclint:alias sacked/rtx are deep-copied via dumpKVs below and restored through the pointer-identical maps; ackEv.Hops is per-ACK scratch, always nil between events
 		fs := flowSnap{ptr: f, val: *f}
 		fs.sackedOff, fs.sackedN = dumpKVs(&s.kvs, f.sacked)
 		fs.rtxOff, fs.rtxN = dumpKVs(&s.kvs, f.rtx)
@@ -130,6 +131,7 @@ func (h *Host) Checkpoint() {
 	s.recvs = s.recvs[:0]
 	//hpcclint:allow determinism -- snapshot restored back through per-entry pointers; order never observed
 	for id, rs := range h.recv {
+		//hpcclint:alias ooo is deep-copied via dumpKVs below and restored through the pointer-identical map
 		r := recvSnap{id: id, ptr: rs, val: *rs}
 		r.oooOff, r.oooN = dumpKVs(&s.kvs, rs.ooo)
 		s.recvs = append(s.recvs, r)
@@ -145,7 +147,7 @@ func (h *Host) Checkpoint() {
 
 	s.wraps = s.wraps[:0]
 	for _, w := range h.liveWraps {
-		s.wraps = append(s.wraps, wrapSnap{w: w, f: w.f, fn: w.fn})
+		s.wraps = append(s.wraps, wrapSnap{w: w, f: w.f, fn: w.fn}) //hpcclint:alias journals the trampoline binding only; Rollback writes f/fn/idx back through w, and the Flow value itself is restored by the flowSnap pass
 	}
 	s.wrapFree = append(s.wrapFree[:0], h.wrapFree...)
 

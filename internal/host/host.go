@@ -374,7 +374,7 @@ func (h *Host) StartFlow(id int32, dst fabric.NodeID, size int64, portIdx int, o
 	if size <= 0 {
 		// Degenerate zero-byte transfer: complete immediately (after
 		// the current event, so the caller sees the handle first).
-		h.eng.After(0, func() { f.complete(h.eng.Now()) })
+		h.eng.After(0, func() { f.complete(h.eng.Now()) }) //hpcclint:allow eventkey -- zero-byte completion fires on the flow's own host engine; a host lives on exactly one shard, so the tie class is host-local and cannot differ between 1 and N shards
 		return f
 	}
 	if cap := h.schedCapacity(); cap > 0 && h.activeFlows >= cap {
@@ -458,7 +458,7 @@ func (h *Host) noteFlowDone(f *Flow) {
 		return
 	}
 	if len(h.retired) < w {
-		h.retired = append(h.retired, f.ID)
+		h.retired = append(h.retired, f.ID) //hpcclint:allow hotpathalloc -- retention ring fills once up to CompletedWindow, then recycles slots in place
 		return
 	}
 	old := h.retired[h.retiredHead]
@@ -471,7 +471,7 @@ func (h *Host) noteFlowDone(f *Flow) {
 		h.evicted++
 		h.evictedPkts += g.pktsSent
 		if h.journal {
-			h.jRemoved = append(h.jRemoved, g)
+			h.jRemoved = append(h.jRemoved, g) //hpcclint:allow hotpathalloc -- membership journal grows per eviction inside a speculation epoch, amortized and truncated at each checkpoint
 		}
 		delete(h.flows, old)
 	}

@@ -151,7 +151,7 @@ func (w *shardWorkers) do(op shardOp) {
 func (g *ShardGroup) run(w *shardWorkers, op shardOp) {
 	t0 := time.Now() //hpcclint:allow determinism -- wall-clock metering for SyncStats overhead accounting; never feeds back into simulated state
 	w.do(op)
-	g.Stats.WorkNS += time.Since(t0).Nanoseconds()
+	g.Stats.WorkNS += time.Since(t0).Nanoseconds() //hpcclint:allow determinism -- wall-clock metering for SyncStats overhead accounting; never feeds back into simulated state
 }
 
 // RunUntil advances every engine to the deadline in lookahead epochs.
